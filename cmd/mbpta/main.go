@@ -1,0 +1,105 @@
+// Command mbpta applies the MBPTA statistical pipeline to a file of
+// execution-time measurements (one number per line): Wald-Wolfowitz
+// independence, two-sample KS identical distribution, ET Gumbel
+// convergence, Gumbel block-maxima fit, and pWCET estimates at the
+// standard cutoffs, plus the full pWCET curve.
+//
+// Usage:
+//
+//	mbpta -in times.txt [-block 20] [-cutoff 1e-15]
+//
+// The input can come from rmsim -times, or from any external measurement
+// source; this tool is the software analogue of the analysis half of the
+// paper's toolchain.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/evt"
+	"repro/internal/iid"
+)
+
+func main() {
+	in := flag.String("in", "", "input file: one execution time per line (required)")
+	block := flag.Int("block", 0, "block size for block maxima (0 = adapt to the sample size)")
+	cutoff := flag.Float64("cutoff", 1e-15, "per-run exceedance probability for the pWCET estimate")
+	flag.Parse()
+
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	times, err := readTimes(*in)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("measurements: %d\n", len(times))
+
+	ww, err := iid.WaldWolfowitz(times)
+	if err != nil {
+		fatal(fmt.Errorf("WW test: %w", err))
+	}
+	fmt.Printf("WW  statistic %.3f  (independence passes < %.2f): %v\n", ww.Stat, iid.WWCritical, ww.Pass)
+
+	ks, err := iid.KSSplit(times)
+	if err != nil {
+		fatal(fmt.Errorf("KS test: %w", err))
+	}
+	fmt.Printf("KS  p-value   %.3f  (identical distribution passes > %.2f): %v\n", ks.P, iid.Alpha, ks.Pass)
+
+	et, err := iid.ETTestSearch(times, nil)
+	if err != nil {
+		fatal(fmt.Errorf("ET test: %w", err))
+	}
+	fmt.Printf("ET  p-value   %.3f  (Gumbel tail passes > %.2f): %v (tail %d pts)\n",
+		et.P, iid.Alpha, et.Pass, et.TailN)
+
+	model, err := evt.Analyze(times, *block)
+	if err != nil {
+		fatal(fmt.Errorf("EVT fit: %w", err))
+	}
+	fmt.Printf("fit Gumbel(mu=%.1f, beta=%.2f) over maxima of %d-run blocks\n",
+		model.Fit.Mu, model.Fit.Beta, model.Block)
+	fmt.Printf("pWCET@%.0e = %.0f\n\n", *cutoff, model.AtExceedance(*cutoff))
+
+	fmt.Println("pWCET curve (CCDF):")
+	for _, pt := range model.Curve(*cutoff) {
+		fmt.Printf("  1e%-4.0f %14.0f\n", math.Log10(pt.P), pt.X)
+	}
+}
+
+func readTimes(path string) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []float64
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		out = append(out, v)
+	}
+	return out, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbpta:", err)
+	os.Exit(1)
+}

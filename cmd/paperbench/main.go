@@ -1,0 +1,213 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section on the simulated platform:
+//
+//	Table 1     ASIC & FPGA implementation results (hardware-cost model)
+//	Table 2     WW and KS (and ET) statistics for the EEMBC suite under RM
+//	Figure 1    illustrative pWCET curve
+//	Figure 4a   RM pWCET normalized to hRP
+//	Figure 4b   RM pWCET vs deterministic high-water mark
+//	Figure 5    synthetic kernel PDFs and pWCET curves (8/20/160KB)
+//	Section 4.4 average performance of RM vs modulo
+//	Section 3.1 within-segment collision probability analysis
+//	ablations   replacement policy, L2 policy, RM variant
+//
+// Usage:
+//
+//	paperbench [-exp all|table1|table2|fig1|fig4a|fig4b|fig5|avgperf|collision|ablations] [-full] [-csv dir]
+//
+// -full restores the paper's campaign sizes (1000 runs per benchmark);
+// the default scale regenerates everything in a few minutes. Set -csv to
+// also write machine-readable series for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig1, fig4a, fig4b, fig5, avgperf, collision, ablations, multicore, convergence)")
+	full := flag.Bool("full", false, "use the paper's campaign sizes (1000 runs)")
+	csvDir := flag.String("csv", "", "directory for machine-readable CSV output (optional)")
+	flag.Parse()
+
+	scale := experiments.FromEnv()
+	if *full {
+		scale = experiments.FullScale()
+	}
+
+	run := func(name string, f func() (string, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", func() (string, error) {
+		return experiments.Table1().Render(), nil
+	})
+	run("table2", func() (string, error) {
+		r, err := experiments.Table2(scale)
+		if err != nil {
+			return "", err
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, "table2.csv", table2CSV(r)); err != nil {
+				return "", err
+			}
+		}
+		return r.Render(), nil
+	})
+	run("fig1", func() (string, error) {
+		r, err := experiments.Figure1(scale)
+		if err != nil {
+			return "", err
+		}
+		if *csvDir != "" {
+			var rows [][]string
+			rows = append(rows, []string{"exceedance", "cycles"})
+			for _, p := range r.Curve {
+				rows = append(rows, []string{fmt.Sprintf("%g", p.P), fmt.Sprintf("%.0f", p.X)})
+			}
+			if err := writeCSV(*csvDir, "fig1.csv", rows); err != nil {
+				return "", err
+			}
+		}
+		return r.Render(), nil
+	})
+	run("fig4a", func() (string, error) {
+		r, err := experiments.Figure4a(scale)
+		if err != nil {
+			return "", err
+		}
+		if *csvDir != "" {
+			var rows [][]string
+			rows = append(rows, []string{"benchmark", "pwcet_rm", "pwcet_hrp", "ratio"})
+			for _, row := range r.Rows {
+				rows = append(rows, []string{row.Bench,
+					fmt.Sprintf("%.0f", row.RM), fmt.Sprintf("%.0f", row.HRP),
+					fmt.Sprintf("%.4f", row.Ratio)})
+			}
+			if err := writeCSV(*csvDir, "fig4a.csv", rows); err != nil {
+				return "", err
+			}
+		}
+		return r.Render(), nil
+	})
+	run("fig4b", func() (string, error) {
+		r, err := experiments.Figure4b(scale)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("fig5", func() (string, error) {
+		var b strings.Builder
+		for _, kb := range []int{8, 20, 160} {
+			r, err := experiments.Figure5(scale, kb)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(r.Render())
+			b.WriteString("\n")
+			if *csvDir != "" {
+				var rows [][]string
+				rows = append(rows, []string{"policy", "run", "cycles"})
+				for i, x := range r.RM.Times {
+					rows = append(rows, []string{"RM", fmt.Sprint(i), fmt.Sprintf("%.0f", x)})
+				}
+				for i, x := range r.HRP.Times {
+					rows = append(rows, []string{"hRP", fmt.Sprint(i), fmt.Sprintf("%.0f", x)})
+				}
+				if err := writeCSV(*csvDir, fmt.Sprintf("fig5_%dkb.csv", kb), rows); err != nil {
+					return "", err
+				}
+			}
+		}
+		return b.String(), nil
+	})
+	run("avgperf", func() (string, error) {
+		r, err := experiments.AveragePerformance(scale)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("collision", func() (string, error) {
+		r, err := experiments.CollisionAnalysis(2000)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("ablations", func() (string, error) {
+		var b strings.Builder
+		for _, f := range []func(experiments.Scale, string) (experiments.AblationResult, error){
+			experiments.AblationReplacement,
+			experiments.AblationL2Policy,
+			experiments.AblationRMVariant,
+		} {
+			r, err := f(scale, "tblook01")
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(r.Render())
+			b.WriteString("\n")
+		}
+		est, err := experiments.AblationEstimator(scale)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(est.Render())
+		return b.String(), nil
+	})
+	run("multicore", func() (string, error) {
+		r, err := experiments.Multicore(scale, "canrdr01")
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("convergence", func() (string, error) {
+		r, err := experiments.ConvergenceStudy(scale, "tblook01")
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+}
+
+func table2CSV(r experiments.Table2Result) [][]string {
+	rows := [][]string{{"benchmark", "ww", "ks_p", "et_p", "pass"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Bench,
+			fmt.Sprintf("%.3f", row.WW), fmt.Sprintf("%.3f", row.KSp),
+			fmt.Sprintf("%.3f", row.ETp), fmt.Sprint(row.Pass)})
+	}
+	return rows
+}
+
+func writeCSV(dir, name string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(filepath.Join(dir, name), []byte(b.String()), 0o644)
+}

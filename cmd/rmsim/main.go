@@ -1,0 +1,118 @@
+// Command rmsim runs one measurement campaign on the simulated LEON3-like
+// platform and reports execution-time statistics, per-level miss ratios,
+// and optionally the raw per-run times for external analysis.
+//
+// Usage:
+//
+//	rmsim -workload tblook01 -placement RM -runs 1000 [-seed N] [-times out.txt]
+//
+// Placement selects the L1 policy (Modulo, XORFold, hRP, RM, RM-rot); the
+// L2 follows the paper's setup (hRP with random replacement) unless
+// -placement Modulo is chosen, which selects the fully deterministic
+// modulo+LRU platform.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/placement"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	wname := flag.String("workload", "synth20k", "workload name (see -list)")
+	pname := flag.String("placement", "RM", "L1 placement: Modulo, XORFold, hRP, RM, RM-rot")
+	runs := flag.Int("runs", 300, "number of runs (seeds)")
+	seed := flag.Uint64("seed", experimentsSeed, "master seed")
+	timesOut := flag.String("times", "", "write raw per-run cycle counts to this file")
+	list := flag.Bool("list", false, "list available workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workload.All() {
+			fmt.Printf("%-10s %s\n", w.Name, w.Description)
+		}
+		return
+	}
+
+	w, err := workload.ByName(*wname)
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := parsePlacement(*pname)
+	if err != nil {
+		fatal(err)
+	}
+
+	spec := core.PaperPlatform(kind)
+	if kind == placement.Modulo {
+		spec = core.DeterministicPlatform()
+	}
+	res, err := core.Campaign{
+		Spec: spec, Workload: w, Runs: *runs, MasterSeed: *seed,
+	}.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload  %s (%s)\n", w.Name, w.Description)
+	fmt.Printf("platform  L1=%s  runs=%d  accesses/run=%d (F=%d L=%d S=%d)\n",
+		kind, *runs, res.Trace.Accesses, res.Trace.Fetches, res.Trace.Loads, res.Trace.Stores)
+	fmt.Printf("cycles    min=%.0f  mean=%.0f  max=%.0f  sd=%.0f\n",
+		stats.Min(res.Times), res.Mean(), res.HWM(), stats.StdDev(res.Times))
+	fmt.Printf("misses    IL1=%.4f  DL1=%.4f  L2=%.4f\n", res.IL1Miss, res.DL1Miss, res.L2Miss)
+
+	if len(res.Times) >= 40 {
+		an, err := core.Analyze(res.Times)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("iid       WW=%.2f (<1.96)  KSp=%.2f (>0.05)  ETp=%.2f (>0.05)  pass=%v\n",
+			an.WW.Stat, an.KS.P, an.ET.P, an.IIDPass && an.ET.Pass)
+		fmt.Printf("gumbel    mu=%.0f  beta=%.1f  (block %d)\n",
+			an.Model.Fit.Mu, an.Model.Fit.Beta, an.Model.Block)
+		fmt.Printf("pWCET     1e-12: %.0f   1e-15: %.0f\n", an.PWCET12, an.PWCET15)
+	}
+
+	if *timesOut != "" {
+		var b strings.Builder
+		for _, x := range res.Times {
+			b.WriteString(strconv.FormatFloat(x, 'f', 0, 64))
+			b.WriteByte('\n')
+		}
+		if err := os.WriteFile(*timesOut, []byte(b.String()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d measurements to %s\n", len(res.Times), *timesOut)
+	}
+}
+
+const experimentsSeed = 0x9A9E6
+
+func parsePlacement(s string) (placement.Kind, error) {
+	switch strings.ToLower(s) {
+	case "modulo":
+		return placement.Modulo, nil
+	case "xorfold", "xor":
+		return placement.XORFold, nil
+	case "hrp":
+		return placement.HRP, nil
+	case "rm":
+		return placement.RM, nil
+	case "rm-rot", "rmrot":
+		return placement.RMRot, nil
+	default:
+		return 0, fmt.Errorf("unknown placement %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rmsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Multicore example: the paper's 4-core platform shape. Each core has
+// private RM L1 caches and its own partition of the L2 (so there is no
+// storage interference), but all cores share the memory bus, which is
+// arbitrated round-robin -- the time-composable multicore arrangement of
+// the MBPTA literature the paper builds on (Section 2: "MBPTA has been
+// evaluated on multicores comprising last-level caches and shared buses").
+//
+// The example runs one benchmark alone and then against three memory-
+// hungry co-runners, showing the contention slowdown that the partitioned
+// L2 bounds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cache"
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func platform() sim.Config {
+	mk := func(name string, size int, pk placement.Kind, w cache.WritePolicy) cache.Config {
+		return cache.Config{
+			Name: name, SizeBytes: size, Ways: 4, LineBytes: 32,
+			Placement: pk, Replacement: cache.Random, Write: w,
+		}
+	}
+	return sim.Config{
+		IL1: mk("IL1", 16*1024, placement.RM, cache.WriteThrough),
+		DL1: mk("DL1", 16*1024, placement.RM, cache.WriteThrough),
+		L2:  mk("L2", 128*1024, placement.HRP, cache.WriteBack),
+	}
+}
+
+func main() {
+	subject, err := workload.ByName("canrdr01")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hog := workload.Synthetic(160*1024, 8, 4) // streams through memory
+	layout := workload.DefaultLayout()
+	subjectTrace := subject.Build(layout)
+	hogTrace := hog.Build(layout)
+
+	solo, err := sim.NewSystem(platform(), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	solo.Reseed(1)
+	soloRes := solo.RunAll([]trace.Trace{subjectTrace, nil, nil, nil})
+
+	contended, err := sim.NewSystem(platform(), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	contended.Reseed(1)
+	contRes := contended.RunAll([]trace.Trace{subjectTrace, hogTrace, hogTrace, hogTrace})
+
+	fmt.Printf("subject workload: %s (%d accesses)\n", subject.Name, len(subjectTrace))
+	fmt.Printf("co-runners:       3x synthetic 160KB streamers\n\n")
+	fmt.Printf("solo      %10d cycles\n", soloRes[0].Cycles)
+	fmt.Printf("contended %10d cycles  (+%.1f%% from shared-bus interference)\n",
+		contRes[0].Cycles,
+		100*(float64(contRes[0].Cycles)/float64(soloRes[0].Cycles)-1))
+	fmt.Println("\nthe per-core L2 partition keeps cache *storage* free of interference;")
+	fmt.Println("only bus bandwidth is shared, which MBPTA accounts for probabilistically.")
+}

@@ -1,0 +1,44 @@
+package benes_test
+
+import (
+	"fmt"
+
+	"repro/internal/benes"
+)
+
+// The paper's reference design: an 8-wide Benes network needs 20 control
+// bits to drive the permutation of the index bits.
+func ExampleNetwork_Switches() {
+	n := benes.MustNew(8)
+	fmt.Println(n.Switches())
+	// Output: 20
+}
+
+// Routing computes control bits that realize a requested permutation;
+// PermuteBits then applies it to a bundle of index bits.
+func ExampleNetwork_Route() {
+	n := benes.MustNew(4)
+	// Send input wire i to output wire (i+1) mod 4: out[o] = in[perm[o]].
+	perm := []int{3, 0, 1, 2}
+	ctrl, err := n.Route(perm)
+	if err != nil {
+		panic(err)
+	}
+	in := []int{10, 11, 12, 13}
+	out := make([]int, 4)
+	n.Permute(ctrl, in, out)
+	fmt.Println(out)
+	// Output: [13 10 11 12]
+}
+
+// Any control word — including ones derived from a random seed, as in
+// Random Modulo — yields a bijection on the index bits: two distinct
+// indices can never collide.
+func ExampleNetwork_PermuteBits() {
+	n := benes.MustNew(7) // the 128-set L1 of the paper
+	const arbitraryCtrl = 0x5A5A
+	a := n.PermuteBits(arbitraryCtrl, 0x01)
+	b := n.PermuteBits(arbitraryCtrl, 0x02)
+	fmt.Println(a != b)
+	// Output: true
+}

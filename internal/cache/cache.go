@@ -1,0 +1,453 @@
+// Package cache implements the set-associative cache model used by the
+// LEON3-like platform simulator: configurable geometry, pluggable placement
+// (modulo, XOR-fold, hRP, Random Modulo), the replacement policies relevant
+// to MBPTA (random) and to the deterministic baseline (LRU, plus FIFO and
+// PLRU for ablations), and write-through/write-back handling.
+//
+// The model is behavioural, not cycle-structural: Access reports hits,
+// misses, and evictions; the simulator in internal/sim converts those into
+// cycles. Placement is consulted once per access with the line address, so
+// the policies behave bit-exactly as their hardware counterparts would.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/placement"
+	"repro/internal/prng"
+)
+
+// ReplacementKind enumerates replacement policies.
+type ReplacementKind int
+
+// Replacement policies.
+const (
+	LRU    ReplacementKind = iota // least recently used (deterministic baseline)
+	Random                        // random replacement (MBPTA-compliant, paper's choice)
+	FIFO                          // first-in first-out (ablation)
+	PLRU                          // tree pseudo-LRU (ablation)
+)
+
+// String returns the report name of the replacement policy.
+func (r ReplacementKind) String() string {
+	switch r {
+	case LRU:
+		return "LRU"
+	case Random:
+		return "Random"
+	case FIFO:
+		return "FIFO"
+	case PLRU:
+		return "PLRU"
+	default:
+		return fmt.Sprintf("ReplacementKind(%d)", int(r))
+	}
+}
+
+// WritePolicy selects how stores interact with the cache level.
+type WritePolicy int
+
+// Write policies. The paper's safety-critical design point is write-through
+// no-allocate L1s (Section 3.2: "most processor designs targeting safety
+// critical applications typically rely on write-through first-level
+// caches") with a write-back L2.
+const (
+	WriteThrough WritePolicy = iota // stores propagate immediately; no dirty lines
+	WriteBack                       // stores dirty the line; dirty victims write back
+)
+
+// String returns the report name of the write policy.
+func (w WritePolicy) String() string {
+	if w == WriteThrough {
+		return "write-through"
+	}
+	return "write-back"
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name         string          // for reports, e.g. "DL1"
+	SizeBytes    int             // total capacity
+	Ways         int             // associativity
+	LineBytes    int             // line size (32 in the paper's LEON3)
+	Placement    placement.Kind  // set-placement function
+	Replacement  ReplacementKind // replacement policy
+	Write        WritePolicy     // write handling
+	AllocOnWrite bool            // allocate line on store miss (ignored for WriteThrough L1 style if false)
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (c.Ways * c.LineBytes) }
+
+// WaySizeBytes returns the size of one way, which is the cache segment size
+// of the paper.
+func (c Config) WaySizeBytes() int { return c.Sets() * c.LineBytes }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cache %s: non-positive geometry", c.Name)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	if c.SizeBytes%(c.Ways*c.LineBytes) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible by ways*line", c.Name, c.SizeBytes)
+	}
+	s := c.Sets()
+	if s < 2 || s&(s-1) != 0 {
+		return fmt.Errorf("cache %s: %d sets, must be a power of two >= 2", c.Name, s)
+	}
+	return nil
+}
+
+// Stats accumulates per-level counters across a run.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64 // dirty victims pushed down
+	Flushes    uint64
+}
+
+// MissRatio returns misses/accesses (0 if no accesses).
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// line is one tag-array entry. The simulator stores the full line address;
+// the hardware-cost model accounts separately for whether the real tag
+// array would need the index bits (placement.NeedsIndexInTag).
+type line struct {
+	addr  uint64
+	valid bool
+	dirty bool
+}
+
+// Result reports the outcome of one access.
+type Result struct {
+	Hit           bool
+	Evicted       bool   // a valid line was displaced
+	WritebackAddr uint64 // line address pushed down (valid only if Writeback)
+	Writeback     bool   // the displaced line was dirty
+	Filled        bool   // a new line was installed (miss with allocation)
+}
+
+// Cache is one cache level. Not safe for concurrent use.
+type Cache struct {
+	cfg     Config
+	pol     placement.Policy
+	sets    int
+	ways    int
+	offBits uint
+	lines   []line // sets*ways, set-major
+
+	// Replacement state, one of the following depending on kind.
+	repl    ReplacementKind
+	lruTick []uint64 // LRU/FIFO: per-line timestamp
+	tick    uint64
+	plru    []uint64 // PLRU: per-set tree bits
+	rng     *prng.PRNG
+
+	stats Stats
+}
+
+// New builds a cache level. The placement policy is instantiated from
+// cfg.Placement; use NewWithPolicy to inject a custom policy.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pol, err := placement.New(cfg.Placement, cfg.Sets())
+	if err != nil {
+		return nil, err
+	}
+	return NewWithPolicy(cfg, pol)
+}
+
+// NewWithPolicy builds a cache level around an existing placement policy.
+// The policy's set count must match the geometry.
+func NewWithPolicy(cfg Config, pol placement.Policy) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pol.Sets() != cfg.Sets() {
+		return nil, fmt.Errorf("cache %s: policy maps %d sets, geometry has %d", cfg.Name, pol.Sets(), cfg.Sets())
+	}
+	c := &Cache{
+		cfg:     cfg,
+		pol:     pol,
+		sets:    cfg.Sets(),
+		ways:    cfg.Ways,
+		offBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		lines:   make([]line, cfg.Sets()*cfg.Ways),
+		repl:    cfg.Replacement,
+		rng:     prng.New(0),
+	}
+	switch cfg.Replacement {
+	case LRU, FIFO:
+		c.lruTick = make([]uint64, len(c.lines))
+	case PLRU:
+		if cfg.Ways&(cfg.Ways-1) != 0 {
+			return nil, fmt.Errorf("cache %s: PLRU needs power-of-two ways, got %d", cfg.Name, cfg.Ways)
+		}
+		c.plru = make([]uint64, cfg.Sets())
+	case Random:
+		// rng drawn per eviction
+	default:
+		return nil, fmt.Errorf("cache %s: unknown replacement %d", cfg.Name, int(cfg.Replacement))
+	}
+	return c, nil
+}
+
+// Config returns the level configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Policy returns the placement policy (for reports and hardware costing).
+func (c *Cache) Policy() placement.Policy { return c.pol }
+
+// Stats returns the accumulated counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// LineAddr converts a byte address to a line address.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.offBits }
+
+// Reseed installs a fresh per-run seed into the placement policy and the
+// replacement randomness, then flushes contents: after a placement change
+// the old contents are unreachable, so the hardware flushes for consistency
+// (paper, Section 3: "on every seed change ... cache contents must be
+// flushed for consistency purposes").
+//
+// Flushing discards dirty lines without reporting them: the run boundary is
+// also a task boundary, and the paper's analysis unit is run-to-completion.
+func (c *Cache) Reseed(seed uint64) {
+	c.pol.Reseed(seed)
+	c.rng.Reseed(seed ^ 0x52455045)
+	c.Flush()
+}
+
+// Flush invalidates every line.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	if c.lruTick != nil {
+		for i := range c.lruTick {
+			c.lruTick[i] = 0
+		}
+	}
+	if c.plru != nil {
+		for i := range c.plru {
+			c.plru[i] = 0
+		}
+	}
+	c.stats.Flushes++
+}
+
+// Lookup reports whether the line holding addr is present, without updating
+// replacement state or counters.
+func (c *Cache) Lookup(addr uint64) bool {
+	la := c.LineAddr(addr)
+	set := int(c.pol.Index(la))
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.lines[base+w].valid && c.lines[base+w].addr == la {
+			return true
+		}
+	}
+	return false
+}
+
+// Read performs a load or instruction fetch for addr.
+func (c *Cache) Read(addr uint64) Result { return c.access(addr, false) }
+
+// Write performs a store to addr. Under WriteThrough the line is updated if
+// present and, unless AllocOnWrite is set, a miss does not allocate. Under
+// WriteBack the line is allocated on miss (if AllocOnWrite) and dirtied.
+func (c *Cache) Write(addr uint64) Result { return c.access(addr, true) }
+
+func (c *Cache) access(addr uint64, isWrite bool) Result {
+	c.stats.Accesses++
+	la := c.LineAddr(addr)
+	set := int(c.pol.Index(la))
+	base := set * c.ways
+
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.addr == la {
+			c.stats.Hits++
+			c.touch(set, w)
+			if isWrite && c.cfg.Write == WriteBack {
+				ln.dirty = true
+			}
+			return Result{Hit: true}
+		}
+	}
+
+	c.stats.Misses++
+	if isWrite && !c.allocatesOnWrite() {
+		// Write-through no-allocate: the store bypasses this level.
+		return Result{}
+	}
+	res := Result{Filled: true}
+	w := c.victim(set)
+	ln := &c.lines[base+w]
+	if ln.valid {
+		res.Evicted = true
+		c.stats.Evictions++
+		if ln.dirty {
+			res.Writeback = true
+			res.WritebackAddr = ln.addr
+			c.stats.Writebacks++
+		}
+	}
+	ln.addr = la
+	ln.valid = true
+	ln.dirty = isWrite && c.cfg.Write == WriteBack
+	c.touch(set, w)
+	return res
+}
+
+func (c *Cache) allocatesOnWrite() bool {
+	if c.cfg.Write == WriteBack {
+		return true
+	}
+	return c.cfg.AllocOnWrite
+}
+
+// touch records a use of way w in set for the replacement policy.
+func (c *Cache) touch(set, w int) {
+	switch c.repl {
+	case LRU:
+		c.tick++
+		c.lruTick[set*c.ways+w] = c.tick
+	case FIFO:
+		// FIFO only stamps on fill; access() calls touch on both hit and
+		// fill, so stamp only when the slot was just (re)written. The fill
+		// path overwrites addr first, hits keep the old stamp: emulate by
+		// stamping only when the stamp is zero or the line was replaced.
+		idx := set*c.ways + w
+		if c.lruTick[idx] == 0 {
+			c.tick++
+			c.lruTick[idx] = c.tick
+		}
+	case PLRU:
+		c.plruTouch(set, w)
+	case Random:
+		// stateless
+	}
+}
+
+// victim picks the way to replace in set. Deterministic policies fill
+// invalid ways first, as conventional hardware does. Random replacement
+// deliberately does not: the MBPTA-compliant evict-on-miss design selects
+// any way with probability 1/W on every miss (the LEON-style policy the
+// MBPTA literature analyses), which makes even warm-up behaviour
+// probabilistic -- the source of run-to-run variability for programs whose
+// footprint fits in the cache.
+func (c *Cache) victim(set int) int {
+	base := set * c.ways
+	if c.repl == Random {
+		return c.rng.Intn(c.ways)
+	}
+	for w := 0; w < c.ways; w++ {
+		if !c.lines[base+w].valid {
+			if c.repl == FIFO {
+				c.lruTick[base+w] = 0 // force restamp on fill
+			}
+			return w
+		}
+	}
+	switch c.repl {
+	case LRU, FIFO:
+		oldest, oldestTick := 0, c.lruTick[base]
+		for w := 1; w < c.ways; w++ {
+			if c.lruTick[base+w] < oldestTick {
+				oldest, oldestTick = w, c.lruTick[base+w]
+			}
+		}
+		if c.repl == FIFO {
+			c.lruTick[base+oldest] = 0 // restamp on fill
+		}
+		return oldest
+	case PLRU:
+		return c.plruVictim(set)
+	default: // Random
+		return c.rng.Intn(c.ways)
+	}
+}
+
+// plruTouch updates the PLRU tree so the path to way w is protected.
+func (c *Cache) plruTouch(set, w int) {
+	levels := bits.TrailingZeros(uint(c.ways)) // tree depth
+	node := 0
+	treeBits := c.plru[set]
+	for level := 0; level < levels; level++ {
+		bit := (w >> uint(levels-1-level)) & 1
+		if bit == 0 {
+			treeBits |= 1 << uint(node) // point away: to the right
+		} else {
+			treeBits &^= 1 << uint(node) // point away: to the left
+		}
+		node = 2*node + 1 + bit
+	}
+	c.plru[set] = treeBits
+}
+
+// plruVictim follows the PLRU tree pointers to the least-recently-protected
+// way.
+func (c *Cache) plruVictim(set int) int {
+	levels := bits.TrailingZeros(uint(c.ways))
+	node := 0
+	w := 0
+	treeBits := c.plru[set]
+	for level := 0; level < levels; level++ {
+		bit := int(treeBits >> uint(node) & 1)
+		w = w<<1 | bit
+		node = 2*node + 1 + bit
+	}
+	return w
+}
+
+// Occupancy returns the number of valid lines, for tests.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// DirtyLines returns the number of dirty lines, for tests.
+func (c *Cache) DirtyLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// SetContents returns the line addresses currently valid in a set, for
+// tests and debugging.
+func (c *Cache) SetContents(set int) []uint64 {
+	var out []uint64
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.lines[base+w].valid {
+			out = append(out, c.lines[base+w].addr)
+		}
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+// Package evt implements the Extreme Value Theory machinery of MBPTA
+// (paper, Section 2): block maxima extraction, Gumbel distribution fitting
+// (probability-weighted moments and maximum likelihood), and probabilistic
+// WCET (pWCET) estimation -- the execution-time value whose per-run
+// exceedance probability is below a chosen cutoff such as 1e-15.
+package evt
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/prng"
+	"repro/internal/stats"
+)
+
+// EulerGamma is the Euler-Mascheroni constant, the mean of the standard
+// Gumbel distribution.
+const EulerGamma = 0.5772156649015329
+
+// Gumbel is the type-I extreme value distribution with location Mu and
+// scale Beta: F(x) = exp(-exp(-(x-Mu)/Beta)).
+type Gumbel struct {
+	Mu   float64
+	Beta float64
+}
+
+// CDF returns P(X <= x).
+func (g Gumbel) CDF(x float64) float64 {
+	return math.Exp(-math.Exp(-(x - g.Mu) / g.Beta))
+}
+
+// Survival returns P(X > x), computed stably for the deep tail.
+func (g Gumbel) Survival(x float64) float64 {
+	return -math.Expm1(-math.Exp(-(x - g.Mu) / g.Beta))
+}
+
+// PDF returns the density at x.
+func (g Gumbel) PDF(x float64) float64 {
+	z := (x - g.Mu) / g.Beta
+	return math.Exp(-z-math.Exp(-z)) / g.Beta
+}
+
+// Quantile returns the x with CDF(x) = p, 0 < p < 1.
+func (g Gumbel) Quantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	return g.Mu - g.Beta*math.Log(-math.Log(p))
+}
+
+// QuantileSurvival returns the x with Survival(x) = q. It is accurate for
+// arbitrarily small q (the pWCET regime: q down to 1e-15 and below), where
+// Quantile(1-q) would lose all precision.
+func (g Gumbel) QuantileSurvival(q float64) float64 {
+	if q <= 0 || q >= 1 {
+		return math.NaN()
+	}
+	// Survival(x) = q  <=>  x = Mu - Beta*ln(-ln(1-q)); -ln(1-q) via Log1p.
+	return g.Mu - g.Beta*math.Log(-math.Log1p(-q))
+}
+
+// Mean returns the distribution mean.
+func (g Gumbel) Mean() float64 { return g.Mu + EulerGamma*g.Beta }
+
+// Sample draws one variate using the inverse transform.
+func (g Gumbel) Sample(rng *prng.PRNG) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return g.Quantile(u)
+}
+
+// ErrBadSample reports an unusable input sample.
+var ErrBadSample = errors.New("evt: unusable sample")
+
+// FitPWM fits a Gumbel distribution by probability-weighted moments
+// (Hosking's unbiased estimators), the robust default of the MBPTA
+// literature: beta = (2*b1 - b0)/ln 2, mu = b0 - EulerGamma*beta.
+func FitPWM(xs []float64) (Gumbel, error) {
+	n := len(xs)
+	if n < 10 {
+		return Gumbel{}, ErrBadSample
+	}
+	s := stats.Sorted(xs)
+	b0 := 0.0
+	b1 := 0.0
+	for i, x := range s {
+		b0 += x
+		b1 += x * float64(i) / float64(n-1)
+	}
+	b0 /= float64(n)
+	b1 /= float64(n)
+	beta := (2*b1 - b0) / math.Ln2
+	if beta <= 0 || math.IsNaN(beta) {
+		return Gumbel{}, ErrBadSample
+	}
+	return Gumbel{Mu: b0 - EulerGamma*beta, Beta: beta}, nil
+}
+
+// FitMLE fits a Gumbel distribution by maximum likelihood, iterating the
+// fixed-point condition for beta (with a PWM start) and closing the form
+// for mu. It falls back to the PWM fit if the iteration fails to converge.
+func FitMLE(xs []float64) (Gumbel, error) {
+	start, err := FitPWM(xs)
+	if err != nil {
+		return Gumbel{}, err
+	}
+	n := float64(len(xs))
+	mean := stats.Mean(xs)
+	beta := start.Beta
+	for iter := 0; iter < 200; iter++ {
+		// beta_{k+1} = mean - sum(x e^{-x/beta}) / sum(e^{-x/beta})
+		var se, sxe float64
+		for _, x := range xs {
+			e := math.Exp(-x / beta)
+			se += e
+			sxe += x * e
+		}
+		if se == 0 || math.IsNaN(se) {
+			return start, nil
+		}
+		next := mean - sxe/se
+		if next <= 0 || math.IsNaN(next) {
+			return start, nil
+		}
+		if math.Abs(next-beta) < 1e-9*beta {
+			beta = next
+			break
+		}
+		beta = next
+	}
+	var se float64
+	for _, x := range xs {
+		se += math.Exp(-x / beta)
+	}
+	mu := -beta * math.Log(se/n)
+	if math.IsNaN(mu) || math.IsInf(mu, 0) {
+		return start, nil
+	}
+	return Gumbel{Mu: mu, Beta: beta}, nil
+}
+
+// BlockMaxima splits xs into consecutive blocks of size block and returns
+// each block's maximum; a trailing partial block is dropped. This is the
+// EVT reduction step of MBPTA.
+func BlockMaxima(xs []float64, block int) ([]float64, error) {
+	if block < 1 {
+		return nil, errors.New("evt: block size must be >= 1")
+	}
+	nb := len(xs) / block
+	if nb < 2 {
+		return nil, ErrBadSample
+	}
+	out := make([]float64, nb)
+	for b := 0; b < nb; b++ {
+		m := xs[b*block]
+		for i := b*block + 1; i < (b+1)*block; i++ {
+			if xs[i] > m {
+				m = xs[i]
+			}
+		}
+		out[b] = m
+	}
+	return out, nil
+}
+
+// PWCET is a fitted probabilistic WCET model: a Gumbel law over maxima of
+// Block consecutive runs.
+type PWCET struct {
+	Fit   Gumbel
+	Block int
+	Runs  int // measurements consumed
+}
+
+// DefaultBlock is the block size used throughout the evaluation; with the
+// paper's 1000-run campaigns it leaves 50 maxima for the fit.
+const DefaultBlock = 20
+
+// Analyze fits a pWCET model to a sequence of execution times using block
+// maxima of the given size and a PWM Gumbel fit. With block <= 0 the size
+// adapts: DefaultBlock when the campaign affords at least ten maxima,
+// smaller otherwise, so reduced-scale campaigns remain analyzable.
+func Analyze(times []float64, block int) (PWCET, error) {
+	if block <= 0 {
+		block = DefaultBlock
+		if len(times)/block < 10 {
+			block = len(times) / 10
+		}
+		if block < 2 {
+			block = 2
+		}
+	}
+	maxima, err := BlockMaxima(times, block)
+	if err != nil {
+		return PWCET{}, err
+	}
+	fit, err := FitPWM(maxima)
+	if err != nil {
+		return PWCET{}, err
+	}
+	return PWCET{Fit: fit, Block: block, Runs: len(times)}, nil
+}
+
+// AtExceedance returns the pWCET estimate at a per-run exceedance
+// probability p (e.g. 1e-15, the cutoff the paper uses for the highest
+// criticality levels): the execution time exceeded by one run with
+// probability at most p.
+//
+// The fitted law describes maxima of Block runs; a per-run exceedance p
+// corresponds to a block exceedance q = 1-(1-p)^Block, computed stably.
+func (w PWCET) AtExceedance(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	q := -math.Expm1(float64(w.Block) * math.Log1p(-p))
+	return w.Fit.QuantileSurvival(q)
+}
+
+// CurvePoint is one point of a pWCET CCDF curve: execution time X at
+// per-run exceedance probability P.
+type CurvePoint struct {
+	X float64
+	P float64
+}
+
+// Curve returns the pWCET curve from exceedance 1e-1 down to pMin in
+// decade steps, the log-scale CCDF representation of Figure 1 and
+// Figure 5(c).
+func (w PWCET) Curve(pMin float64) []CurvePoint {
+	if pMin <= 0 {
+		pMin = 1e-16
+	}
+	var out []CurvePoint
+	for p := 0.1; p >= pMin*0.999; p /= 10 {
+		out = append(out, CurvePoint{X: w.AtExceedance(p), P: p})
+	}
+	return out
+}
+
+// ConvergenceReport describes the stability of the pWCET estimate as runs
+// accumulate, the MBPTA criterion for "enough measurements".
+type ConvergenceReport struct {
+	Converged bool
+	Runs      int     // runs at which the estimate stabilized (or total used)
+	Estimate  float64 // pWCET at the probe probability using all runs
+	Delta     float64 // final relative step between successive estimates
+}
+
+// Convergence applies the iterative MBPTA protocol: fit on growing
+// prefixes (steps of step runs) and declare convergence when the pWCET
+// estimate at probe probability changes by less than tol relatively across
+// the last two steps.
+func Convergence(times []float64, block int, probe, tol float64, step int) (ConvergenceReport, error) {
+	if step < block*10 {
+		step = block * 10
+	}
+	var prev float64
+	havePrev := false
+	rep := ConvergenceReport{}
+	for n := step; n <= len(times); n += step {
+		w, err := Analyze(times[:n], block)
+		if err != nil {
+			return rep, err
+		}
+		est := w.AtExceedance(probe)
+		rep.Estimate = est
+		rep.Runs = n
+		if havePrev && prev > 0 {
+			rep.Delta = math.Abs(est-prev) / prev
+			if rep.Delta < tol {
+				rep.Converged = true
+				return rep, nil
+			}
+		}
+		prev = est
+		havePrev = true
+	}
+	// Use the full sample estimate even when not converged within tol.
+	w, err := Analyze(times, block)
+	if err != nil {
+		return rep, err
+	}
+	rep.Estimate = w.AtExceedance(probe)
+	rep.Runs = len(times)
+	return rep, nil
+}

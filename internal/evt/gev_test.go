@@ -1,0 +1,159 @@
+package evt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func TestGEVReducesToGumbelAtZeroShape(t *testing.T) {
+	g := GEV{Xi: 100, Alpha: 10, K: 0}
+	gu := Gumbel{Mu: 100, Beta: 10}
+	for _, x := range []float64{80, 100, 120, 150} {
+		if !almost(g.CDF(x), gu.CDF(x), 1e-12) {
+			t.Fatalf("CDF mismatch at %f", x)
+		}
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		if !almost(g.Quantile(p), gu.Quantile(p), 1e-9) {
+			t.Fatalf("quantile mismatch at %f", p)
+		}
+	}
+	if !almost(g.QuantileSurvival(1e-12), gu.QuantileSurvival(1e-12), 1e-6) {
+		t.Fatal("deep survival quantile mismatch")
+	}
+}
+
+func TestGEVCDFQuantileRoundTrip(t *testing.T) {
+	for _, k := range []float64{-0.2, 0.15, 0.4} {
+		g := GEV{Xi: 50, Alpha: 5, K: k}
+		for _, p := range []float64{0.05, 0.3, 0.7, 0.99} {
+			x := g.Quantile(p)
+			if !almost(g.CDF(x), p, 1e-10) {
+				t.Fatalf("k=%f: CDF(Quantile(%f)) = %f", k, p, g.CDF(x))
+			}
+		}
+	}
+}
+
+func TestGEVBoundedTail(t *testing.T) {
+	// Positive shape: finite upper endpoint; quantiles approach it.
+	g := GEV{Xi: 100, Alpha: 10, K: 0.5}
+	end := g.UpperEndpoint()
+	if !almost(end, 120, 1e-12) {
+		t.Fatalf("upper endpoint = %f, want 120", end)
+	}
+	q := g.QuantileSurvival(1e-15)
+	if q > end || q < g.Xi {
+		t.Fatalf("deep quantile %f outside (Xi, endpoint]", q)
+	}
+	if g.CDF(end+1) != 1 {
+		t.Fatal("CDF beyond the endpoint must be 1")
+	}
+	// Heavy tail: infinite endpoint.
+	h := GEV{Xi: 100, Alpha: 10, K: -0.3}
+	if !math.IsInf(h.UpperEndpoint(), 1) {
+		t.Fatal("negative shape must have infinite endpoint")
+	}
+}
+
+func TestFitGEVRecoversShape(t *testing.T) {
+	// Sample from a known GEV via inverse transform and refit.
+	for _, truth := range []GEV{
+		{Xi: 100, Alpha: 10, K: 0.25},
+		{Xi: 100, Alpha: 10, K: -0.15},
+	} {
+		rng := prng.New(uint64(math.Float64bits(truth.K)))
+		xs := make([]float64, 8000)
+		for i := range xs {
+			u := rng.Float64()
+			for u == 0 {
+				u = rng.Float64()
+			}
+			xs[i] = truth.Quantile(u)
+		}
+		fit, err := FitGEV(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fit.K-truth.K) > 0.06 {
+			t.Fatalf("shape fit %f, truth %f", fit.K, truth.K)
+		}
+		if math.Abs(fit.Xi-truth.Xi) > 1 || math.Abs(fit.Alpha-truth.Alpha) > 1 {
+			t.Fatalf("fit %+v, truth %+v", fit, truth)
+		}
+	}
+}
+
+func TestFitGEVOnGumbelDataGivesSmallShape(t *testing.T) {
+	truth := Gumbel{Mu: 500, Beta: 20}
+	rng := prng.New(77)
+	xs := make([]float64, 8000)
+	for i := range xs {
+		xs[i] = truth.Sample(rng)
+	}
+	fit, err := FitGEV(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.K) > 0.05 {
+		t.Fatalf("shape %f on Gumbel data, want ~0", fit.K)
+	}
+}
+
+func TestFitGEVErrors(t *testing.T) {
+	if _, err := FitGEV([]float64{1, 2, 3}); err == nil {
+		t.Fatal("tiny sample accepted")
+	}
+}
+
+func TestAnalyzeGEVTighterThanGumbelOnBoundedTails(t *testing.T) {
+	// Uniform execution times have a hard upper bound: the GEV fit
+	// (Weibull domain) must give a much tighter 1e-15 estimate than the
+	// Gumbel fit, which extrapolates linearly forever. This quantifies the
+	// estimator conservatism discussed in EXPERIMENTS.md.
+	rng := prng.New(5)
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = 1000 + 100*rng.Float64()
+	}
+	gumbel, err := Analyze(xs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gev, err := AnalyzeGEV(xs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gev.Fit.K <= 0 {
+		t.Fatalf("bounded data fitted with non-positive shape %f", gev.Fit.K)
+	}
+	g15 := gumbel.AtExceedance(1e-15)
+	v15 := gev.AtExceedance(1e-15)
+	if v15 >= g15 {
+		t.Fatalf("GEV estimate %f not tighter than Gumbel %f on bounded tails", v15, g15)
+	}
+	// The GEV estimate must still upper-bound the data.
+	if v15 < 1100 {
+		t.Fatalf("GEV estimate %f below the true bound 1100", v15)
+	}
+}
+
+func TestAnalyzeGEVBlockAccounting(t *testing.T) {
+	rng := prng.New(9)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	w, err := AnalyzeGEV(xs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Block != DefaultBlock || w.Runs != 1000 {
+		t.Fatalf("meta %+v", w)
+	}
+	if !math.IsNaN(w.AtExceedance(0)) {
+		t.Fatal("p=0 must be NaN")
+	}
+}

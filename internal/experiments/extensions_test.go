@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMulticoreContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test skipped in -short mode")
+	}
+	r, err := Multicore(tinyScale(), "puwmod01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ContendedMean <= r.SoloMean {
+		t.Errorf("no bus interference: contended %.0f <= solo %.0f", r.ContendedMean, r.SoloMean)
+	}
+	if r.MeanSlowdown < 0 || r.MeanSlowdown > 3 {
+		t.Errorf("implausible slowdown %.2f", r.MeanSlowdown)
+	}
+	out := r.Render()
+	for _, want := range []string{"solo", "contended", "bus interference"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestConvergenceStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test skipped in -short mode")
+	}
+	r, err := ConvergenceStudy(tinyScale(), "rspeed01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) < 3 {
+		t.Fatalf("only %d convergence points", len(r.Points))
+	}
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].Runs <= r.Points[i-1].Runs {
+			t.Fatal("run counts not increasing")
+		}
+	}
+	if r.NeedRuns <= 0 {
+		t.Fatal("no run requirement reported")
+	}
+	if !strings.Contains(r.Render(), "convergence protocol") {
+		t.Error("render missing title")
+	}
+}
+
+func TestEstimatorAblationSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test skipped in -short mode")
+	}
+	r, err := AblationEstimator(Scale{Runs: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 11 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// On reliable bounded-tail fits, GEV must be tighter than the
+		// forced Gumbel; unreliable fits are flagged, not asserted (their
+		// instability is the finding).
+		if row.Reliable && row.Shape > 0.05 && row.GEV15 > row.Gumbel15*1.01 {
+			t.Errorf("%s: bounded-tail GEV %.0f above Gumbel %.0f", row.Bench, row.GEV15, row.Gumbel15)
+		}
+		if row.HWM <= 0 {
+			t.Errorf("%s: degenerate hwm", row.Bench)
+		}
+	}
+	if !strings.Contains(r.Render(), "Estimator ablation") {
+		t.Error("render missing title")
+	}
+}

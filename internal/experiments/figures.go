@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/evt"
+	"repro/internal/placement"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// --- Figure 1: illustrative pWCET curve ----------------------------------
+
+// Fig1Result is the EVT projection of Figure 1: a pWCET curve (CCDF in log
+// scale) for one benchmark, with the empirical part and the extrapolated
+// tail down to the cutoff.
+type Fig1Result struct {
+	Bench     string
+	Curve     []evt.CurvePoint
+	Empirical []evt.CurvePoint // empirical exceedance (observable region)
+	Cutoff    float64
+	PWCET     float64
+}
+
+// Figure1 builds the illustrative curve on the a2time01 campaign.
+func Figure1(s Scale) (Fig1Result, error) {
+	w, err := workload.ByName("a2time01")
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	res, an, err := runAnalyzed(placement.RM, w, s.Runs)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	out := Fig1Result{
+		Bench:  w.Name,
+		Curve:  an.Model.Curve(core.CutoffHigh),
+		Cutoff: core.CutoffHigh,
+		PWCET:  an.PWCET15,
+	}
+	e, err := stats.NewECDF(res.Times)
+	if err != nil {
+		return out, err
+	}
+	for p := 0.5; p >= 1.5/float64(len(res.Times)); p /= 10 {
+		out.Empirical = append(out.Empirical, evt.CurvePoint{
+			X: stats.QuantileSorted(e.Values(), 1-p), P: p,
+		})
+	}
+	return out, nil
+}
+
+// Render draws the curve as a text table (log10 exceedance per row).
+func (r Fig1Result) Render() string {
+	var b strings.Builder
+	header(&b, fmt.Sprintf("Figure 1: pWCET curve (%s, RM caches)", r.Bench),
+		"exceedance / run      execution time (cycles)")
+	for _, pt := range r.Curve {
+		fmt.Fprintf(&b, "1e%-6.0f %24.0f\n", math.Log10(pt.P), pt.X)
+	}
+	fmt.Fprintf(&b, "pWCET at cutoff %.0e: %.0f cycles\n", r.Cutoff, r.PWCET)
+	return b.String()
+}
+
+// --- Figure 4(a): RM vs hRP pWCET ----------------------------------------
+
+// Fig4aRow compares pWCET estimates at the high-criticality cutoff.
+type Fig4aRow struct {
+	Bench string
+	RM    float64 // pWCET@1e-15, RM L1s
+	HRP   float64 // pWCET@1e-15, hRP L1s
+	Ratio float64 // RM / hRP (paper: 0.38 .. 0.75)
+	RM12  float64 // pWCET@1e-12 (paper: "similar results")
+	HRP12 float64
+}
+
+// Fig4aResult reproduces Figure 4(a): RM pWCET normalized to hRP.
+type Fig4aResult struct {
+	Rows      []Fig4aRow
+	MeanRatio float64 // paper: ~0.57 (43% tighter on average)
+	BestRatio float64 // paper: 0.38 (62% tighter, a2time)
+}
+
+// Figure4a runs every EEMBC-like benchmark under both placements.
+func Figure4a(s Scale) (Fig4aResult, error) {
+	var res Fig4aResult
+	res.BestRatio = math.Inf(1)
+	for _, w := range workload.EEMBC() {
+		_, rm, err := runAnalyzed(placement.RM, w, s.Runs)
+		if err != nil {
+			return res, fmt.Errorf("fig4a %s RM: %w", w.Name, err)
+		}
+		_, hrp, err := runAnalyzed(placement.HRP, w, s.Runs)
+		if err != nil {
+			return res, fmt.Errorf("fig4a %s hRP: %w", w.Name, err)
+		}
+		row := Fig4aRow{
+			Bench: w.Name,
+			RM:    rm.PWCET15, HRP: hrp.PWCET15,
+			RM12: rm.PWCET12, HRP12: hrp.PWCET12,
+			Ratio: rm.PWCET15 / hrp.PWCET15,
+		}
+		res.Rows = append(res.Rows, row)
+		res.MeanRatio += row.Ratio
+		if row.Ratio < res.BestRatio {
+			res.BestRatio = row.Ratio
+		}
+	}
+	res.MeanRatio /= float64(len(res.Rows))
+	return res, nil
+}
+
+// Render formats the normalized comparison.
+func (r Fig4aResult) Render() string {
+	var b strings.Builder
+	header(&b, "Figure 4(a): RM pWCET normalized to hRP (cutoff 1e-15)",
+		"benchmark    pWCET(RM)    pWCET(hRP)   RM/hRP   tighter")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %12.0f %12.0f   %6.2f   %5.0f%%\n",
+			row.Bench, row.RM, row.HRP, row.Ratio, 100*(1-row.Ratio))
+	}
+	fmt.Fprintf(&b, "average reduction %.0f%% (paper: 43%%), best %.0f%% (paper: 62%%)\n",
+		100*(1-r.MeanRatio), 100*(1-r.BestRatio))
+	return b.String()
+}
+
+// --- Figure 4(b): RM vs deterministic hwm ---------------------------------
+
+// Fig4bRow compares the RM pWCET against the deterministic high-water mark.
+type Fig4bRow struct {
+	Bench string
+	PWCET float64 // RM pWCET@1e-15
+	HWM   float64 // hwm over randomized layouts, modulo+LRU platform
+	Ratio float64 // paper: <= 1.07, mostly <= 1.01
+}
+
+// Fig4bResult reproduces Figure 4(b).
+type Fig4bResult struct {
+	Rows     []Fig4bRow
+	MaxRatio float64
+}
+
+// Figure4b runs the RM campaigns and the industrial hwm baseline.
+func Figure4b(s Scale) (Fig4bResult, error) {
+	var res Fig4bResult
+	for _, w := range workload.EEMBC() {
+		_, rm, err := runAnalyzed(placement.RM, w, s.Runs)
+		if err != nil {
+			return res, fmt.Errorf("fig4b %s RM: %w", w.Name, err)
+		}
+		hwm, err := core.HWMCampaign{
+			Spec:       core.DeterministicPlatform(),
+			Workload:   w,
+			Runs:       s.HWMLayouts,
+			MasterSeed: MasterSeed,
+		}.Run()
+		if err != nil {
+			return res, fmt.Errorf("fig4b %s hwm: %w", w.Name, err)
+		}
+		row := Fig4bRow{Bench: w.Name, PWCET: rm.PWCET15, HWM: hwm.HWM, Ratio: rm.PWCET15 / hwm.HWM}
+		res.Rows = append(res.Rows, row)
+		if row.Ratio > res.MaxRatio {
+			res.MaxRatio = row.Ratio
+		}
+	}
+	return res, nil
+}
+
+// Render formats the comparison with the industrial 20% margin reference.
+func (r Fig4bResult) Render() string {
+	var b strings.Builder
+	header(&b, "Figure 4(b): RM pWCET vs deterministic high-water mark",
+		"benchmark    pWCET(RM)     hwm(DET)    ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %12.0f %12.0f   %6.3f\n", row.Bench, row.PWCET, row.HWM, row.Ratio)
+	}
+	fmt.Fprintf(&b, "max ratio %.3f (paper: <= 1.07; industrial practice adds a 20%% margin)\n", r.MaxRatio)
+	return b.String()
+}
+
+// --- Figure 5: synthetic kernel PDFs and pWCET curves --------------------
+
+// Fig5Policy is one placement's view of the synthetic kernel campaign.
+type Fig5Policy struct {
+	Placement placement.Kind
+	Times     []float64
+	Hist      *stats.Histogram
+	Curve     []evt.CurvePoint
+	Mean, Max float64
+	StdDev    float64
+	PWCET15   float64
+}
+
+// Fig5Result reproduces Figure 5 for one footprint: the execution-time
+// PDFs under RM and hRP (a, b) and the pWCET curves (c).
+type Fig5Result struct {
+	FootprintKB int
+	RM, HRP     Fig5Policy
+}
+
+// Figure5 runs the synthetic kernel with the given footprint under both
+// placements.
+func Figure5(s Scale, footprintKB int) (Fig5Result, error) {
+	runs := s.SynthRuns
+	if footprintKB >= 160 {
+		runs = s.Synth160Run
+	}
+	if runs < 40 {
+		runs = 40 // floor: the admissibility tests need 40+ measurements
+	}
+	w := workload.Synthetic(footprintKB*1024, 50, 4)
+	res := Fig5Result{FootprintKB: footprintKB}
+	for _, kind := range []placement.Kind{placement.RM, placement.HRP} {
+		c, an, err := runAnalyzed(kind, w, runs)
+		if err != nil {
+			return res, fmt.Errorf("fig5 %dKB %v: %w", footprintKB, kind, err)
+		}
+		h, err := stats.NewHistogram(c.Times, 40)
+		if err != nil {
+			return res, err
+		}
+		p := Fig5Policy{
+			Placement: kind,
+			Times:     c.Times,
+			Hist:      h,
+			Curve:     an.Model.Curve(core.CutoffHigh),
+			Mean:      c.Mean(),
+			Max:       c.HWM(),
+			StdDev:    stats.StdDev(c.Times),
+			PWCET15:   an.PWCET15,
+		}
+		if kind == placement.RM {
+			res.RM = p
+		} else {
+			res.HRP = p
+		}
+	}
+	return res, nil
+}
+
+// Render draws compact text histograms and the pWCET summary.
+func (r Fig5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: synthetic kernel, %dKB footprint\n", r.FootprintKB)
+	for _, p := range []Fig5Policy{r.RM, r.HRP} {
+		fmt.Fprintf(&b, "\n(%s) execution-time PDF: mean=%.0f sd=%.0f max=%.0f\n",
+			p.Placement, p.Mean, p.StdDev, p.Max)
+		renderHist(&b, p.Hist)
+	}
+	fmt.Fprintf(&b, "\n(c) pWCET curves (cycles at decreasing exceedance):\n")
+	fmt.Fprintf(&b, "%-10s", "exceed.")
+	fmt.Fprintf(&b, "%14s %14s\n", "RM", "hRP")
+	for i := range r.RM.Curve {
+		fmt.Fprintf(&b, "1e%-8.0f %13.0f %14.0f\n",
+			math.Log10(r.RM.Curve[i].P), r.RM.Curve[i].X, r.HRP.Curve[i].X)
+	}
+	fmt.Fprintf(&b, "pWCET@1e-15: RM %.0f vs hRP %.0f (RM/hRP = %.2f)\n",
+		r.RM.PWCET15, r.HRP.PWCET15, r.RM.PWCET15/r.HRP.PWCET15)
+	return b.String()
+}
+
+func renderHist(b *strings.Builder, h *stats.Histogram) {
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount == 0 {
+		return
+	}
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", 1+c*50/maxCount)
+		fmt.Fprintf(b, "%10.0f %s %d\n", h.BinCenter(i), bar, c)
+	}
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/hwcost"
+	"repro/internal/placement"
+	"repro/internal/workload"
+)
+
+// --- Table 1: ASIC & FPGA implementation results ------------------------
+
+// Table1Result reproduces Table 1: area/delay of the RM and hRP modules in
+// isolation (ASIC, 128-set cache) and occupancy/frequency of the full
+// integration (FPGA prototype).
+type Table1Result struct {
+	ASIC hwcost.ASICReport
+	FPGA hwcost.FPGAReport
+}
+
+// Table1 evaluates the hardware-cost models at the paper's design point.
+func Table1() Table1Result {
+	return Table1Result{
+		ASIC: hwcost.ASIC(hwcost.Generic45(), 128, placement.HashedAddressBits),
+		FPGA: hwcost.FPGA(hwcost.DefaultFPGA(), 128, 1024, placement.HashedAddressBits),
+	}
+}
+
+// Render formats the result next to the paper's numbers.
+func (r Table1Result) Render() string {
+	var b strings.Builder
+	header(&b, "Table 1: ASIC & FPGA implementation results",
+		"                         RM            hRP")
+	fmt.Fprintf(&b, "ASIC area (um2)   %9.1f      %9.1f   (paper: 336.6 / 3514.7)\n",
+		r.ASIC.RM.AreaUm2, r.ASIC.HRP.AreaUm2)
+	fmt.Fprintf(&b, "ASIC delay (ns)   %9.2f      %9.2f   (paper: 0.46 / 0.59)\n",
+		r.ASIC.RM.DelayNs, r.ASIC.HRP.DelayNs)
+	fmt.Fprintf(&b, "area ratio        %9.1fx                (paper: ~10x)\n", r.ASIC.AreaRatio)
+	fmt.Fprintf(&b, "delay reduction   %9.0f%%                (paper: ~27%%)\n", 100*r.ASIC.DelayGain)
+	fmt.Fprintf(&b, "FPGA occupancy    %8.1f%%      %8.1f%%   (paper: 72%% / 80%%, baseline %8.1f%%)\n",
+		r.FPGA.RM.OccupancyPct, r.FPGA.HRP.OccupancyPct, r.FPGA.Baseline.OccupancyPct)
+	fmt.Fprintf(&b, "FPGA frequency    %6d MHz     %6d MHz   (paper: 100 / 80, baseline %d)\n",
+		r.FPGA.RM.FMHz, r.FPGA.HRP.FMHz, r.FPGA.Baseline.FMHz)
+	return b.String()
+}
+
+// --- Table 2: WW and KS results for EEMBC -------------------------------
+
+// Table2Row is one benchmark's i.i.d. assessment under RM caches.
+type Table2Row struct {
+	Bench    string
+	Initials string
+	WW       float64 // Wald-Wolfowitz statistic (pass < 1.96)
+	KSp      float64 // KS p-value (pass > 0.05)
+	ETp      float64 // ET test p-value (pass > 0.05), the Section 4.2 supplement
+	Pass     bool    // WW and KS pass (the paper's Table 2 criteria)
+	ETPass   bool
+}
+
+// Table2Result reproduces Table 2 plus the ET row of Section 4.2.
+type Table2Result struct {
+	Rows []Table2Row
+	Runs int
+}
+
+// Table2 runs every EEMBC-like benchmark on the RM platform and applies
+// the MBPTA admissibility tests.
+func Table2(s Scale) (Table2Result, error) {
+	res := Table2Result{Runs: s.Runs}
+	for _, w := range workload.EEMBC() {
+		_, an, err := runAnalyzed(placement.RM, w, s.Runs)
+		if err != nil {
+			return res, fmt.Errorf("table2 %s: %w", w.Name, err)
+		}
+		res.Rows = append(res.Rows, Table2Row{
+			Bench:    w.Name,
+			Initials: Initials(w.Name),
+			WW:       an.WW.Stat,
+			KSp:      an.KS.P,
+			ETp:      an.ET.P,
+			Pass:     an.IIDPass,
+			ETPass:   an.ET.Pass,
+		})
+	}
+	return res, nil
+}
+
+// Render formats the rows in the layout of Table 2.
+func (r Table2Result) Render() string {
+	var b strings.Builder
+	header(&b, fmt.Sprintf("Table 2: WW and KS results for EEMBC under RM (%d runs)", r.Runs),
+		"      "+rowOf(r.Rows, func(x Table2Row) string { return fmt.Sprintf("%5s", x.Initials) }))
+	fmt.Fprintf(&b, "WW    %s   (pass: < 1.96)\n",
+		rowOf(r.Rows, func(x Table2Row) string { return fmt.Sprintf("%5.2f", x.WW) }))
+	fmt.Fprintf(&b, "KS    %s   (pass: > 0.05)\n",
+		rowOf(r.Rows, func(x Table2Row) string { return fmt.Sprintf("%5.2f", x.KSp) }))
+	fmt.Fprintf(&b, "ET    %s   (pass: > 0.05)\n",
+		rowOf(r.Rows, func(x Table2Row) string { return fmt.Sprintf("%5.2f", x.ETp) }))
+	pass, etPass := 0, 0
+	for _, row := range r.Rows {
+		if row.Pass {
+			pass++
+		}
+		if row.ETPass {
+			etPass++
+		}
+	}
+	fmt.Fprintf(&b, "i.i.d. (WW+KS, the Table 2 criteria): %d/%d pass; ET Gumbel convergence: %d/%d pass\n",
+		pass, len(r.Rows), etPass, len(r.Rows))
+	fmt.Fprintf(&b, "(5%%-level tests: ~1 false rejection per ~20 benchmark-tests is expected)\n")
+	return b.String()
+}
+
+func rowOf[T any](rows []T, f func(T) string) string {
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = f(r)
+	}
+	return strings.Join(parts, " ")
+}
+
+// --- Section 4.4: average performance ------------------------------------
+
+// AvgPerfRow compares RM's mean execution time against deterministic
+// modulo+LRU for one benchmark.
+type AvgPerfRow struct {
+	Bench    string
+	RMMean   float64
+	ModMean  float64
+	Slowdown float64 // RMMean/ModMean - 1
+}
+
+// AvgPerfResult reproduces the Section 4.4 average-performance claim:
+// "RM is on average only 1.6% worse than modulo placement with a maximum
+// degradation of 8%".
+type AvgPerfResult struct {
+	Rows         []AvgPerfRow
+	MeanSlowdown float64
+	MaxSlowdown  float64
+}
+
+// AveragePerformance runs both platforms over the EEMBC-like suite.
+func AveragePerformance(s Scale) (AvgPerfResult, error) {
+	var res AvgPerfResult
+	for _, w := range workload.EEMBC() {
+		rm, err := core.Campaign{
+			Spec: core.PaperPlatform(placement.RM), Workload: w,
+			Runs: s.Runs / 4, MasterSeed: MasterSeed,
+		}.Run()
+		if err != nil {
+			return res, err
+		}
+		det, err := core.Campaign{
+			Spec: core.DeterministicPlatform(), Workload: w,
+			Runs: 2, MasterSeed: MasterSeed, // deterministic: runs identical
+		}.Run()
+		if err != nil {
+			return res, err
+		}
+		row := AvgPerfRow{
+			Bench:    w.Name,
+			RMMean:   rm.Mean(),
+			ModMean:  det.Mean(),
+			Slowdown: rm.Mean()/det.Mean() - 1,
+		}
+		res.Rows = append(res.Rows, row)
+		res.MeanSlowdown += row.Slowdown
+		if row.Slowdown > res.MaxSlowdown {
+			res.MaxSlowdown = row.Slowdown
+		}
+	}
+	res.MeanSlowdown /= float64(len(res.Rows))
+	return res, nil
+}
+
+// Render formats the comparison.
+func (r AvgPerfResult) Render() string {
+	var b strings.Builder
+	header(&b, "Section 4.4: average performance, RM vs deterministic modulo+LRU",
+		"benchmark     RM mean      modulo mean   slowdown")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %12.0f %12.0f   %+6.2f%%\n",
+			row.Bench, row.RMMean, row.ModMean, 100*row.Slowdown)
+	}
+	fmt.Fprintf(&b, "average slowdown %+.2f%% (paper: ~1.6%%), max %+.2f%% (paper: 8%%)\n",
+		100*r.MeanSlowdown, 100*r.MaxSlowdown)
+	return b.String()
+}

@@ -1,0 +1,267 @@
+// Package iid implements the statistical admissibility tests that MBPTA
+// applies to execution-time measurements before EVT may be used (paper,
+// Section 4.2 / Table 2):
+//
+//   - the Wald-Wolfowitz runs test for independence (pass when the
+//     statistic is below 1.96 at the 5% significance level),
+//   - the two-sample Kolmogorov-Smirnov test for identical distribution
+//     (pass when the p-value exceeds 0.05),
+//   - the ET test of Garrido and Diebolt for convergence of the
+//     distribution tail to the exponential shape that characterizes the
+//     Gumbel maximum domain of attraction.
+package iid
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/prng"
+	"repro/internal/stats"
+)
+
+// ErrTooFewSamples reports a sample too small for the requested test.
+var ErrTooFewSamples = errors.New("iid: too few samples")
+
+// Alpha is the significance level used throughout the paper.
+const Alpha = 0.05
+
+// WWCritical is the two-sided 5% critical value of the standard normal,
+// the acceptance threshold the paper quotes for the runs test.
+const WWCritical = 1.96
+
+// WWResult reports a Wald-Wolfowitz runs test.
+type WWResult struct {
+	Stat float64 // |Z|: the absolute standardized run count (Table 2 rows)
+	Z    float64 // signed statistic
+	Runs int     // observed runs
+	N1   int     // observations above the median
+	N2   int     // observations below the median
+	Pass bool    // Stat < 1.96
+}
+
+// WaldWolfowitz applies the runs test for independence: the sequence is
+// binarized against its median (ties dropped, the standard treatment), the
+// number of runs is compared with its null distribution, and the
+// standardized statistic is returned. Small |Z| means no evidence of serial
+// dependence.
+func WaldWolfowitz(xs []float64) (WWResult, error) {
+	if len(xs) < 20 {
+		return WWResult{}, ErrTooFewSamples
+	}
+	med := stats.Quantile(xs, 0.5)
+	signs := make([]bool, 0, len(xs))
+	for _, x := range xs {
+		if x == med {
+			continue
+		}
+		signs = append(signs, x > med)
+	}
+	n1, n2 := 0, 0
+	for _, s := range signs {
+		if s {
+			n1++
+		} else {
+			n2++
+		}
+	}
+	if n1 == 0 || n2 == 0 {
+		return WWResult{}, errors.New("iid: degenerate sample (constant)")
+	}
+	runs := 1
+	for i := 1; i < len(signs); i++ {
+		if signs[i] != signs[i-1] {
+			runs++
+		}
+	}
+	n := float64(n1 + n2)
+	f1, f2 := float64(n1), float64(n2)
+	mu := 2*f1*f2/n + 1
+	sigma2 := 2 * f1 * f2 * (2*f1*f2 - n) / (n * n * (n - 1))
+	if sigma2 <= 0 {
+		return WWResult{}, errors.New("iid: runs variance non-positive")
+	}
+	z := (float64(runs) - mu) / math.Sqrt(sigma2)
+	r := WWResult{Stat: math.Abs(z), Z: z, Runs: runs, N1: n1, N2: n2}
+	r.Pass = r.Stat < WWCritical
+	return r, nil
+}
+
+// KSResult reports a two-sample Kolmogorov-Smirnov test.
+type KSResult struct {
+	D    float64 // sup distance between the two empirical CDFs
+	P    float64 // asymptotic p-value (Table 2 rows)
+	Pass bool    // P > 0.05
+}
+
+// KolmogorovSmirnov2 applies the two-sample KS identical-distribution
+// test. Large p-values mean the two samples are compatible with a common
+// distribution.
+func KolmogorovSmirnov2(a, b []float64) (KSResult, error) {
+	if len(a) < 10 || len(b) < 10 {
+		return KSResult{}, ErrTooFewSamples
+	}
+	sa, sb := stats.Sorted(a), stats.Sorted(b)
+	na, nb := len(sa), len(sb)
+	var d float64
+	i, j := 0, 0
+	for i < na && j < nb {
+		// Consume all ties of the smaller value on both sides before
+		// comparing the CDFs, so equal observations never create a
+		// spurious gap.
+		va, vb := sa[i], sb[j]
+		if va <= vb {
+			for i < na && sa[i] == va {
+				i++
+			}
+		}
+		if vb <= va {
+			for j < nb && sb[j] == vb {
+				j++
+			}
+		}
+		diff := math.Abs(float64(i)/float64(na) - float64(j)/float64(nb))
+		if diff > d {
+			d = diff
+		}
+	}
+	ne := float64(na) * float64(nb) / float64(na+nb)
+	sqne := math.Sqrt(ne)
+	lambda := (sqne + 0.12 + 0.11/sqne) * d
+	p := stats.KolmogorovSurvival(lambda)
+	return KSResult{D: d, P: p, Pass: p > Alpha}, nil
+}
+
+// KSSplit applies the two-sample KS test to the two halves of a
+// measurement sequence, the standard MBPTA protocol for checking that the
+// collected execution times are identically distributed over the campaign.
+func KSSplit(xs []float64) (KSResult, error) {
+	if len(xs) < 20 {
+		return KSResult{}, ErrTooFewSamples
+	}
+	h := len(xs) / 2
+	return KolmogorovSmirnov2(xs[:h], xs[h:])
+}
+
+// ETResult reports an ET (exponential tail) test.
+type ETResult struct {
+	Stat      float64 // KS distance between tail excesses and fitted exponential
+	P         float64 // Monte-Carlo p-value (Lilliefors-adjusted)
+	Threshold float64 // tail threshold u
+	TailN     int     // number of excesses used
+	Pass      bool    // P > 0.05
+}
+
+// ETTest applies the Garrido-Diebolt style goodness-of-fit test for an
+// exponential distribution tail: excesses over the (1-tailFrac) empirical
+// quantile are compared against an exponential with the estimated mean.
+// Because the mean is estimated from the same data, critical values come
+// from a deterministic Monte-Carlo simulation of the null (the Lilliefors
+// construction). A pass supports convergence of block maxima to a Gumbel
+// law, as required before applying EVT (paper, Section 4.2: "We also
+// applied and passed the ET test for Gumbel convergence testing").
+func ETTest(xs []float64, tailFrac float64) (ETResult, error) {
+	if tailFrac <= 0 || tailFrac >= 1 {
+		return ETResult{}, errors.New("iid: tail fraction must be in (0,1)")
+	}
+	if len(xs) < 40 {
+		return ETResult{}, ErrTooFewSamples
+	}
+	u := stats.Quantile(xs, 1-tailFrac)
+	var exc []float64
+	for _, x := range xs {
+		if x > u {
+			exc = append(exc, x-u)
+		}
+	}
+	if len(exc) < 10 {
+		return ETResult{}, ErrTooFewSamples
+	}
+	d := ksExpDistance(exc)
+
+	// Null distribution of the statistic for this tail size, by simulation
+	// with a fixed seed so results are reproducible.
+	const reps = 400
+	g := prng.New(0xE7E7)
+	ge := 0
+	sim := make([]float64, len(exc))
+	for r := 0; r < reps; r++ {
+		for i := range sim {
+			sim[i] = -math.Log(1 - g.Float64())
+		}
+		if ksExpDistance(sim) >= d {
+			ge++
+		}
+	}
+	p := float64(ge+1) / float64(reps+1)
+	return ETResult{Stat: d, P: p, Threshold: u, TailN: len(exc), Pass: p > Alpha}, nil
+}
+
+// ETTestSearch applies the ET test over a grid of candidate tail sizes and
+// returns the most favourable result. This is the standard
+// peaks-over-threshold protocol: extreme value theory guarantees excesses
+// become exponential beyond *some* threshold, so the analyst searches for
+// a threshold at which the exponential fit is acceptable; failure at every
+// threshold is evidence against Gumbel convergence.
+func ETTestSearch(xs []float64, tailSizes []int) (ETResult, error) {
+	if len(tailSizes) == 0 {
+		tailSizes = []int{60, 40, 25, 15}
+	}
+	var best ETResult
+	var lastErr error
+	found := false
+	for _, k := range tailSizes {
+		if k < 10 || k >= len(xs) {
+			continue
+		}
+		r, err := ETTest(xs, float64(k)/float64(len(xs)))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !found || r.P > best.P {
+			best = r
+			found = true
+		}
+		if best.Pass {
+			return best, nil
+		}
+	}
+	if !found {
+		if lastErr == nil {
+			lastErr = ErrTooFewSamples
+		}
+		return ETResult{}, lastErr
+	}
+	return best, nil
+}
+
+// ksExpDistance returns the KS distance between a sample and the
+// exponential distribution with the sample's own mean.
+func ksExpDistance(exc []float64) float64 {
+	mean := stats.Mean(exc)
+	if mean <= 0 {
+		return 1
+	}
+	s := stats.Sorted(exc)
+	n := float64(len(s))
+	var d float64
+	for i, x := range s {
+		f := 1 - math.Exp(-x/mean)
+		lo := float64(i) / n
+		hi := float64(i+1) / n
+		if diff := math.Abs(f - lo); diff > d {
+			d = diff
+		}
+		if diff := math.Abs(f - hi); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// SampleSplitHalves returns the two halves of a sample (convenience used
+// by reports).
+func SampleSplitHalves(xs []float64) (a, b []float64) {
+	h := len(xs) / 2
+	return xs[:h], xs[h:]
+}

@@ -1,0 +1,425 @@
+// Package placement implements cache set-placement functions, including
+// the Random Modulo (RM) policy that is the contribution of the paper, the
+// hash-based random placement (hRP) it improves upon, and the deterministic
+// baselines (modulo and XOR-fold) it is compared against.
+//
+// A placement policy maps a cache-line address (the memory address with the
+// line-offset bits already stripped) to a set index. Deterministic policies
+// fix this mapping forever; MBPTA-compliant policies re-randomize it on
+// every Reseed, which the platform invokes once per program run.
+//
+// Terminology from the paper: for a cache with S sets and L-byte lines, the
+// *cache way size* is CWb = S*L bytes, and all addresses with the same
+// value of floor(addr/CWb) belong to the same *cache segment*. RM's
+// defining guarantee is that two addresses in the same segment that map to
+// different sets under modulo also map to different sets under RM, for
+// every seed.
+package placement
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/benes"
+	"repro/internal/prng"
+)
+
+// Policy maps cache-line addresses to set indices.
+//
+// Implementations are deterministic functions of (current seed, line
+// address); Reseed installs a new seed. Policies are not safe for
+// concurrent use; each cache instance owns its policy.
+type Policy interface {
+	// Name returns the short policy name used in reports ("RM", "hRP", ...).
+	Name() string
+	// Sets returns the number of cache sets the policy maps onto.
+	Sets() int
+	// Index returns the set index for a cache-line address, in [0, Sets).
+	Index(line uint64) uint32
+	// Reseed installs a fresh per-run random seed. Deterministic policies
+	// ignore it.
+	Reseed(seed uint64)
+	// Randomized reports whether the mapping changes across seeds, i.e.
+	// whether the policy is a candidate for MBPTA compliance.
+	Randomized() bool
+	// NeedsIndexInTag reports whether the reference hardware design must
+	// store the index bits in the tag array to reconstruct a victim's
+	// address (true for hash placements, false for modulo and for RM on
+	// the write-through caches the paper targets).
+	NeedsIndexInTag() bool
+}
+
+// Kind enumerates the built-in policies.
+type Kind int
+
+// Placement policy kinds.
+const (
+	Modulo  Kind = iota // conventional modulo indexing (deterministic)
+	XORFold             // deterministic XOR-folded indexing (Gonzalez-style)
+	HRP                 // hash-based random placement (Kosmidis et al.)
+	RM                  // random modulo (this paper)
+	RMRot               // rotation-only random modulo (ablation: S layouts/segment)
+)
+
+// String returns the report name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Modulo:
+		return "Modulo"
+	case XORFold:
+		return "XORFold"
+	case HRP:
+		return "hRP"
+	case RM:
+		return "RM"
+	case RMRot:
+		return "RM-rot"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// New constructs a policy of the given kind for a cache with sets sets.
+// sets must be a power of two and at least 2.
+func New(kind Kind, sets int) (Policy, error) {
+	switch kind {
+	case Modulo:
+		return NewModulo(sets)
+	case XORFold:
+		return NewXORFold(sets)
+	case HRP:
+		return NewHRP(sets)
+	case RM:
+		return NewRM(sets)
+	case RMRot:
+		return NewRMRot(sets)
+	default:
+		return nil, fmt.Errorf("placement: unknown kind %d", int(kind))
+	}
+}
+
+// indexBits validates sets and returns log2(sets).
+func indexBits(sets int) (uint, error) {
+	if sets < 2 || sets&(sets-1) != 0 {
+		return 0, fmt.Errorf("placement: sets must be a power of two >= 2, got %d", sets)
+	}
+	return uint(bits.TrailingZeros(uint(sets))), nil
+}
+
+// SegmentOf returns the cache segment of a line address for a cache with
+// the given number of index bits: all lines sharing a segment fit in one
+// cache way and are the subject of RM's no-conflict guarantee.
+func SegmentOf(line uint64, idxBits uint) uint64 { return line >> idxBits }
+
+// ---------------------------------------------------------------------------
+// Modulo
+
+// moduloPolicy is conventional power-of-two modulo placement.
+type moduloPolicy struct {
+	sets int
+	mask uint64
+}
+
+// NewModulo returns conventional modulo placement over sets sets.
+func NewModulo(sets int) (Policy, error) {
+	if _, err := indexBits(sets); err != nil {
+		return nil, err
+	}
+	return &moduloPolicy{sets: sets, mask: uint64(sets - 1)}, nil
+}
+
+func (p *moduloPolicy) Name() string             { return "Modulo" }
+func (p *moduloPolicy) Sets() int                { return p.sets }
+func (p *moduloPolicy) Index(line uint64) uint32 { return uint32(line & p.mask) }
+func (p *moduloPolicy) Reseed(uint64)            {}
+func (p *moduloPolicy) Randomized() bool         { return false }
+func (p *moduloPolicy) NeedsIndexInTag() bool    { return false }
+
+// ---------------------------------------------------------------------------
+// XORFold
+
+// xorFoldPolicy is a deterministic hash placement in the family of
+// XOR-based indexing functions (Gonzalez et al., ICS 1997): the set index
+// is the XOR of consecutive index-width chunks of the line address. It
+// breaks pathological strides but, being fixed, stays deterministic: a bad
+// layout is bad on every run, which is why such designs are not
+// MBPTA-compliant (paper, Section 5).
+type xorFoldPolicy struct {
+	sets    int
+	idxBits uint
+	mask    uint64
+}
+
+// NewXORFold returns deterministic XOR-folded placement over sets sets.
+func NewXORFold(sets int) (Policy, error) {
+	nb, err := indexBits(sets)
+	if err != nil {
+		return nil, err
+	}
+	return &xorFoldPolicy{sets: sets, idxBits: nb, mask: uint64(sets - 1)}, nil
+}
+
+func (p *xorFoldPolicy) Name() string { return "XORFold" }
+func (p *xorFoldPolicy) Sets() int    { return p.sets }
+
+func (p *xorFoldPolicy) Index(line uint64) uint32 {
+	v := uint64(0)
+	for x := line; x != 0; x >>= p.idxBits {
+		v ^= x & p.mask
+	}
+	return uint32(v)
+}
+
+func (p *xorFoldPolicy) Reseed(uint64)         {}
+func (p *xorFoldPolicy) Randomized() bool      { return false }
+func (p *xorFoldPolicy) NeedsIndexInTag() bool { return true }
+
+// ---------------------------------------------------------------------------
+// hRP
+
+// HashedAddressBits is the number of line-address bits fed to the hRP
+// parametric hash in the reference design: 32-bit addresses minus the
+// 5 offset bits (paper, Section 3.1).
+const HashedAddressBits = 27
+
+// hrpPolicy is hash-based random placement: a per-seed random affine map
+// over GF(2) from the line-address bits to the index bits.
+//
+// The hardware design (paper Figure 2) builds the hash from seed-controlled
+// rotate blocks feeding a cascade of 2-input XOR gates; for any fixed seed
+// the resulting function is affine over GF(2) in the address bits. The
+// simulator implements exactly that function class: on Reseed it draws a
+// random bit-matrix row per index bit plus an affine constant, and Index
+// computes parity(line & row) ^ constant per bit. This preserves the two
+// properties the paper analyses: (i) each address is mapped to each set
+// with homogeneous probability 1/S across seeds, and (ii) any pair of
+// distinct addresses collides with probability ~1/S per seed -- including
+// pairs inside the same cache segment, which is the weakness RM removes.
+type hrpPolicy struct {
+	sets     int
+	idxBits  uint
+	addrMask uint64
+	rows     []uint64 // one GF(2) row mask per index bit
+	consts   uint32   // affine constant, one bit per index bit
+}
+
+// NewHRP returns hash-based random placement over sets sets, hashing the
+// low HashedAddressBits bits of the line address. The policy must be
+// Reseeded before first use; New installs seed 0 so the zero value is
+// usable in tests.
+func NewHRP(sets int) (Policy, error) {
+	nb, err := indexBits(sets)
+	if err != nil {
+		return nil, err
+	}
+	p := &hrpPolicy{
+		sets:     sets,
+		idxBits:  nb,
+		addrMask: 1<<HashedAddressBits - 1,
+		rows:     make([]uint64, nb),
+	}
+	p.Reseed(0)
+	return p, nil
+}
+
+func (p *hrpPolicy) Name() string { return "hRP" }
+func (p *hrpPolicy) Sets() int    { return p.sets }
+
+func (p *hrpPolicy) Reseed(seed uint64) {
+	g := prng.New(seed ^ 0x68525021) // domain-separate from other seed users
+	for i := range p.rows {
+		// Draw until the row is non-zero so no index bit degenerates to a
+		// constant; a zero row would make the placement ignore the address
+		// in that bit, which the rotate/XOR netlist cannot do either.
+		for {
+			row := g.Bits(HashedAddressBits)
+			if row != 0 {
+				p.rows[i] = row
+				break
+			}
+		}
+	}
+	p.consts = uint32(g.Bits(int(p.idxBits)))
+}
+
+func (p *hrpPolicy) Index(line uint64) uint32 {
+	a := line & p.addrMask
+	v := p.consts
+	for i, row := range p.rows {
+		v ^= uint32(bits.OnesCount64(a&row)&1) << uint(i)
+	}
+	return v
+}
+
+func (p *hrpPolicy) Randomized() bool      { return true }
+func (p *hrpPolicy) NeedsIndexInTag() bool { return true }
+
+// ---------------------------------------------------------------------------
+// RM
+
+// rmPolicy is Random Modulo placement (paper, Section 3.2 / Figure 3): the
+// modulo index bits are pushed through a Benes permutation network whose
+// control word is derived by XOR-combining the upper address bits with the
+// per-run random seed. Addresses in the same cache segment share upper bits
+// and therefore the permutation, so distinct modulo indices stay distinct:
+// contiguous footprints that fit in one way never self-conflict, for any
+// seed. Across segments the permutations differ, and across seeds every
+// segment's permutation is re-drawn.
+type rmPolicy struct {
+	sets     int
+	idxBits  uint
+	idxMask  uint64
+	net      *benes.Network
+	ctrlBits uint
+	ctrlMask uint64
+	seedLow  uint64 // expanded seed material XORed into the control word
+	seedTop  uint64 // the "uppermost seed bit(s)" concatenated with the upper address bits
+
+	// Segment-to-control memo: programs touch few segments and sweep them
+	// repeatedly, so a small direct-mapped cache of derived control words
+	// removes the fold from the hot path. Pure optimization; Index results
+	// are identical with the memo disabled.
+	memoSeg  [16]uint64
+	memoCtrl [16]uint64
+	memoOK   [16]bool
+}
+
+// NewRM returns Random Modulo placement over sets sets. The Benes network
+// width equals the index width (7 for the paper's 128-set L1, for which the
+// network has 15 switches; the paper's 8-bit illustration has 20).
+func NewRM(sets int) (Policy, error) {
+	nb, err := indexBits(sets)
+	if err != nil {
+		return nil, err
+	}
+	net, err := benes.New(int(nb))
+	if err != nil {
+		return nil, err
+	}
+	if net.Switches() > 64 {
+		return nil, fmt.Errorf("placement: RM control word for %d sets exceeds 64 bits", sets)
+	}
+	p := &rmPolicy{
+		sets:     sets,
+		idxBits:  nb,
+		idxMask:  uint64(sets - 1),
+		net:      net,
+		ctrlBits: uint(net.Switches()),
+		ctrlMask: 1<<uint(net.Switches()) - 1,
+	}
+	p.Reseed(0)
+	return p, nil
+}
+
+func (p *rmPolicy) Name() string { return "RM" }
+func (p *rmPolicy) Sets() int    { return p.sets }
+
+func (p *rmPolicy) Reseed(seed uint64) {
+	// Expand the architectural seed register into the two words the
+	// reference design consumes: the bits XORed against the upper address
+	// bits, and the bits concatenated alongside them (paper: "we
+	// concatenate the 19 upper address bits with the uppermost bit of the
+	// random seed and XOR them with the following 20 bits of the seed").
+	g := prng.New(seed ^ 0x524D5021) // domain-separate from other seed users
+	p.seedLow = g.Uint64()
+	p.seedTop = g.Uint64()
+	p.memoOK = [16]bool{}
+}
+
+// control derives the Benes control word for a segment (the upper address
+// bits above the index). A single-bit change in the segment flips at least
+// one control bit, as the paper requires ("small changes in address upper
+// bits lead to different index permutations").
+func (p *rmPolicy) control(segment uint64) uint64 {
+	if p.ctrlBits == 0 {
+		// A 2-set cache has a single index bit and nothing to permute:
+		// RM degenerates to modulo.
+		return 0
+	}
+	// Concatenate one seed bit above the segment bits, then fold to the
+	// control width by XOR of ctrlBits-wide chunks, then XOR the seed.
+	x := segment<<1 | (p.seedTop & 1)
+	var folded uint64
+	for ; x != 0; x >>= p.ctrlBits {
+		folded ^= x & p.ctrlMask
+	}
+	return (folded ^ p.seedLow) & p.ctrlMask
+}
+
+func (p *rmPolicy) Index(line uint64) uint32 {
+	mod := line & p.idxMask
+	seg := line >> p.idxBits
+	slot := seg & 15
+	var ctrl uint64
+	if p.memoOK[slot] && p.memoSeg[slot] == seg {
+		ctrl = p.memoCtrl[slot]
+	} else {
+		ctrl = p.control(seg)
+		p.memoSeg[slot], p.memoCtrl[slot], p.memoOK[slot] = seg, ctrl, true
+	}
+	return uint32(p.net.PermuteBits(ctrl, mod))
+}
+
+func (p *rmPolicy) Randomized() bool      { return true }
+func (p *rmPolicy) NeedsIndexInTag() bool { return false }
+
+// ControlBits returns the number of Benes control bits of an RM policy,
+// for hardware-cost accounting; it returns 0 for other policies.
+func ControlBits(p Policy) int {
+	if rm, ok := p.(*rmPolicy); ok {
+		return int(rm.ctrlBits)
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// RM-rot (ablation)
+
+// rmRotPolicy is the rotation-only Random Modulo variant used as an
+// ablation in the benchmark harness: instead of a Benes bit permutation it
+// adds a seed- and segment-dependent offset to the modulo index (a
+// circular rotation of the set array). It keeps RM's segment-injectivity
+// guarantee -- the offset is constant within a segment, so distinct modulo
+// indices stay distinct -- but reaches only S layouts per segment instead
+// of the Benes network's factorially many, which weakens layout diversity
+// across runs and therefore MBPTA representativeness.
+type rmRotPolicy struct {
+	sets    int
+	idxBits uint
+	idxMask uint64
+	seedA   uint64
+	seedB   uint64
+}
+
+// NewRMRot returns the rotation-only RM variant over sets sets.
+func NewRMRot(sets int) (Policy, error) {
+	nb, err := indexBits(sets)
+	if err != nil {
+		return nil, err
+	}
+	p := &rmRotPolicy{sets: sets, idxBits: nb, idxMask: uint64(sets - 1)}
+	p.Reseed(0)
+	return p, nil
+}
+
+func (p *rmRotPolicy) Name() string { return "RM-rot" }
+func (p *rmRotPolicy) Sets() int    { return p.sets }
+
+func (p *rmRotPolicy) Reseed(seed uint64) {
+	g := prng.New(seed ^ 0x524F5421)
+	p.seedA = g.Uint64()
+	p.seedB = g.Uint64() | 1 // odd multiplier: bijective mixing of segments
+}
+
+func (p *rmRotPolicy) Index(line uint64) uint32 {
+	mod := line & p.idxMask
+	seg := line >> p.idxBits
+	// Offset derived from (segment, seed) via a multiply-xor mix; constant
+	// per segment, near-uniform across seeds.
+	m := (seg ^ p.seedA) * p.seedB
+	off := (m >> 32) & p.idxMask
+	return uint32((mod + off) & p.idxMask)
+}
+
+func (p *rmRotPolicy) Randomized() bool      { return true }
+func (p *rmRotPolicy) NeedsIndexInTag() bool { return false }

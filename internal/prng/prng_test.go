@@ -1,0 +1,297 @@
+package prng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestReproducibility(t *testing.T) {
+	a := New(12345)
+	b := New(12345)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("streams diverge at step %d: %x vs %x", i, got, want)
+		}
+	}
+}
+
+func TestDistinctSeedsDistinctStreams(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	const n = 256
+	for i := 0; i < n; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/%d identical words", same, n)
+	}
+}
+
+func TestZeroSeedIsValid(t *testing.T) {
+	p := New(0)
+	s32, s31, s29 := p.State()
+	if s32 == 0 || s31 == 0 || s29 == 0 {
+		t.Fatalf("zero seed left an LFSR in lock-up state: %x %x %x", s32, s31, s29)
+	}
+	// The stream must not be constant.
+	first := p.Uint32()
+	varies := false
+	for i := 0; i < 16; i++ {
+		if p.Uint32() != first {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Fatal("zero-seeded stream appears constant")
+	}
+}
+
+func TestMonobitBalance(t *testing.T) {
+	// NIST-style frequency test: the fraction of ones over a long stream
+	// must be near 1/2. With n bits, |ones - n/2| should be within ~4 sigma
+	// (sigma = sqrt(n)/2).
+	p := New(0xC0FFEE)
+	const n = 1 << 16
+	ones := 0
+	for i := 0; i < n/64; i++ {
+		v := p.Uint64()
+		for ; v != 0; v &= v - 1 {
+			ones++
+		}
+	}
+	dev := math.Abs(float64(ones) - n/2)
+	if dev > 4*math.Sqrt(n)/2 {
+		t.Fatalf("monobit imbalance: %d ones of %d bits (dev %.1f)", ones, n, dev)
+	}
+}
+
+func TestByteChiSquare(t *testing.T) {
+	// Chi-square over byte values: 255 degrees of freedom, mean 255,
+	// stddev ~= sqrt(2*255) ~= 22.6. Accept within 255 +- 6 sigma.
+	p := New(987654321)
+	const n = 1 << 16
+	var counts [256]int
+	for i := 0; i < n; i++ {
+		counts[p.Bits(8)]++
+	}
+	expected := float64(n) / 256
+	chi := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi += d * d / expected
+	}
+	if chi < 255-6*22.6 || chi > 255+6*22.6 {
+		t.Fatalf("byte chi-square %f out of plausible range", chi)
+	}
+}
+
+func TestSerialCorrelation(t *testing.T) {
+	// Lag-1 serial correlation of successive 32-bit outputs should be
+	// near zero for a sound generator.
+	p := New(42)
+	const n = 8192
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(p.Uint32())
+	}
+	var sx, sxx, sxy float64
+	for i := 0; i < n-1; i++ {
+		sx += xs[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * xs[i+1]
+	}
+	m := sx / float64(n-1)
+	cov := sxy/float64(n-1) - m*m
+	varx := sxx/float64(n-1) - m*m
+	r := cov / varx
+	if math.Abs(r) > 0.05 {
+		t.Fatalf("lag-1 serial correlation too high: %f", r)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	p := New(7)
+	for _, n := range []int{1, 2, 3, 7, 10, 128, 1000} {
+		for i := 0; i < 200; i++ {
+			v := p.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniformSmall(t *testing.T) {
+	p := New(99)
+	const n, draws = 10, 100000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[p.Intn(n)]++
+	}
+	expected := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-expected) > 5*math.Sqrt(expected) {
+			t.Fatalf("Intn(%d): value %d drawn %d times, expected ~%.0f", n, v, c, expected)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bits(65) did not panic")
+		}
+	}()
+	New(1).Bits(65)
+}
+
+func TestFloat64Range(t *testing.T) {
+	p := New(31337)
+	for i := 0; i < 10000; i++ {
+		f := p.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %f", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	p := New(2024)
+	const n = 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += p.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %f far from 0.5", mean)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(555)
+	a.Uint64()
+	b := a.Clone()
+	// Clone must continue the same stream...
+	av, bv := a.Uint64(), b.Uint64()
+	if av != bv {
+		t.Fatalf("clone diverged immediately: %x vs %x", av, bv)
+	}
+	// ...but advancing one must not affect the other: b's third stream
+	// word must match a fresh generator's third word.
+	a.Uint64()
+	a.Uint64()
+	bv2 := b.Uint64()
+	c := New(555)
+	c.Uint64()
+	c.Uint64()
+	if bv2 != c.Uint64() {
+		t.Fatal("advancing the original perturbed the clone")
+	}
+}
+
+func TestDeriveDistinct(t *testing.T) {
+	seen := make(map[uint64]int)
+	const master = 0xDEADBEEF
+	for run := 0; run < 4096; run++ {
+		s := Derive(master, run)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("Derive collision: runs %d and %d both yield %x", prev, run, s)
+		}
+		seen[s] = run
+	}
+}
+
+func TestDeriveDeterministic(t *testing.T) {
+	if Derive(1, 2) != Derive(1, 2) {
+		t.Fatal("Derive is not deterministic")
+	}
+	if Derive(1, 2) == Derive(1, 3) || Derive(1, 2) == Derive(2, 2) {
+		t.Fatal("Derive ignores one of its inputs")
+	}
+}
+
+// Property: reseeding with the same value always resets to the same stream.
+func TestQuickReseedDeterminism(t *testing.T) {
+	f := func(seed uint64, steps uint8) bool {
+		p := New(seed)
+		want := make([]uint32, 8)
+		for i := range want {
+			want[i] = p.Uint32()
+		}
+		for i := 0; i < int(steps); i++ {
+			p.Uint32()
+		}
+		p.Reseed(seed)
+		for i := range want {
+			if p.Uint32() != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: no LFSR ever reaches the all-zero lock-up state.
+func TestQuickNoLockup(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := New(seed)
+		for i := 0; i < 512; i++ {
+			p.step()
+			s32, s31, s29 := p.State()
+			if s32 == 0 || s31 == 0 || s29 == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSource64Contract(t *testing.T) {
+	s := Source64{P: New(11)}
+	for i := 0; i < 1000; i++ {
+		if s.Int63() < 0 {
+			t.Fatal("Int63 returned a negative value")
+		}
+	}
+	s.Seed(11)
+	t1 := Source64{P: New(11)}
+	if s.Uint64() != t1.Uint64() {
+		t.Fatal("Seed did not reset the stream")
+	}
+}
+
+func BenchmarkUint32(b *testing.B) {
+	p := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Uint32()
+	}
+}
+
+func BenchmarkDerive(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Derive(42, i)
+	}
+}

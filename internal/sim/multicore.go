@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// System models the paper's four-core platform: per-core private L1s and
+// L2 partitions, with a shared memory bus arbitrated round-robin. The L2
+// partitioning removes storage interference (as in the paper); the bus
+// model retains bandwidth interference, which is what the MBPTA multicore
+// literature the paper cites analyses. This is the substrate behind the
+// multicore example and the contention ablation bench.
+type System struct {
+	cores []*Core
+	lat   Latencies
+	// busService is the bus occupancy of one memory transaction.
+	busService uint64
+}
+
+// NewSystem builds n identical cores from cfg.
+func NewSystem(cfg Config, n int) (*System, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sim: system needs at least one core, got %d", n)
+	}
+	s := &System{lat: cfg.Lat}
+	if s.lat == (Latencies{}) {
+		s.lat = DefaultLatencies()
+	}
+	s.busService = s.lat.Memory / 2 // transfer slot; the rest is DRAM latency
+	if s.busService == 0 {
+		s.busService = 1
+	}
+	for i := 0; i < n; i++ {
+		c, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.cores = append(s.cores, c)
+	}
+	return s, nil
+}
+
+// Cores returns the core models.
+func (s *System) Cores() []*Core { return s.cores }
+
+// Reseed reseeds every core with seeds derived from runSeed.
+func (s *System) Reseed(runSeed uint64) {
+	for i, c := range s.cores {
+		c.Reseed(runSeed ^ uint64(i+1)*0x9E3779B97F4A7C15)
+	}
+}
+
+// RunAll executes one trace per core concurrently under the shared-bus
+// model and returns per-core results. Cores with a nil trace idle.
+//
+// The model is event-driven: each core retires accesses in order; accesses
+// that need a memory transaction (L2 miss or L2 writeback) must win the
+// bus, which serves one transaction at a time. Arbitration is round-robin:
+// among cores whose request is pending when the bus frees, the one
+// following the last grantee wins. This is a time-composable bus in the
+// sense of the MBPTA multicore designs the paper cites.
+func (s *System) RunAll(traces []trace.Trace) []Result {
+	n := len(s.cores)
+	if len(traces) != n {
+		panic("sim: RunAll needs one trace per core")
+	}
+	results := make([]Result, n)
+	clocks := make([]uint64, n) // core-local completion time
+	pos := make([]int, n)       // next access index per core
+	var busFreeAt uint64
+	lastGrant := n - 1
+
+	for {
+		// Pick the next core to advance: the unfinished core with the
+		// earliest local clock; round-robin from lastGrant breaks ties so
+		// bus contention resolves fairly.
+		sel := -1
+		for off := 1; off <= n; off++ {
+			i := (lastGrant + off) % n
+			if traces[i] == nil || pos[i] >= len(traces[i]) {
+				continue
+			}
+			if sel == -1 || clocks[i] < clocks[sel] {
+				sel = i
+			}
+		}
+		if sel == -1 {
+			break
+		}
+		c := s.cores[sel]
+		a := traces[sel][pos[sel]]
+		pos[sel]++
+		results[sel].Accesses++
+
+		local, memTxns := c.timeAccess(a)
+		t := clocks[sel] + local
+		for k := 0; k < memTxns; k++ {
+			grant := t
+			if busFreeAt > grant {
+				grant = busFreeAt
+			}
+			busFreeAt = grant + s.busService
+			lastGrant = sel
+			t = grant + s.busService + (s.lat.Memory - s.busService)
+		}
+		clocks[sel] = t
+	}
+
+	for i, c := range s.cores {
+		results[i].Cycles = clocks[i]
+		il1, dl1, l2 := c.Caches()
+		results[i].IL1 = il1.Stats()
+		results[i].DL1 = dl1.Stats()
+		results[i].L2 = l2.Stats()
+	}
+	return results
+}
+
+// timeAccess performs the cache state updates of one access and returns the
+// core-local cycles plus the number of memory-bus transactions it needs.
+func (c *Core) timeAccess(a trace.Access) (local uint64, memTxns int) {
+	lat := c.lat
+	switch a.Kind {
+	case trace.Fetch:
+		local = lat.L1Hit
+		if !c.il1.Read(a.Addr).Hit {
+			local += lat.L2Hit
+			r := c.l2.Read(a.Addr)
+			if !r.Hit {
+				memTxns++
+			}
+			if r.Writeback {
+				memTxns++
+			}
+		}
+	case trace.Load:
+		local = lat.L1Hit
+		if !c.dl1.Read(a.Addr).Hit {
+			local += lat.L2Hit
+			r := c.l2.Read(a.Addr)
+			if !r.Hit {
+				memTxns++
+			}
+			if r.Writeback {
+				memTxns++
+			}
+		}
+	default: // Store
+		local = lat.L1Hit + lat.StoreBus
+		c.dl1.Write(a.Addr)
+		r := c.l2.Write(a.Addr)
+		if !r.Hit && r.Filled {
+			memTxns++
+		}
+		if r.Writeback {
+			memTxns++
+		}
+	}
+	return local, memTxns
+}

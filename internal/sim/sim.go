@@ -1,0 +1,172 @@
+// Package sim implements the LEON3-like platform timing model on which the
+// paper's experiments run: an in-order core with private IL1 and DL1
+// caches, a per-core partition of the shared L2, and a fixed-latency
+// memory. It substitutes the paper's FPGA prototype (see DESIGN.md): the
+// cache behaviour is modelled bit-exactly, the pipeline is reduced to
+// cycle accounting, which preserves the placement-induced execution-time
+// distributions that MBPTA analyses.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/prng"
+	"repro/internal/trace"
+)
+
+// Latencies configures the cycle charges of the memory hierarchy.
+// Defaults approximate a LEON3-class microcontroller: single-cycle L1,
+// on-chip L2 partition, external SDRAM.
+type Latencies struct {
+	L1Hit     uint64 // cycles per instruction/data access served by L1
+	L2Hit     uint64 // extra cycles for an L1 miss served by the L2 partition
+	Memory    uint64 // extra cycles for an L2 miss served by memory
+	StoreBus  uint64 // cycles per store spent in the write-through path
+	Writeback uint64 // cycles per dirty L2 victim pushed to memory
+}
+
+// DefaultLatencies returns the LEON3-class latency set used throughout the
+// evaluation.
+func DefaultLatencies() Latencies {
+	return Latencies{L1Hit: 1, L2Hit: 8, Memory: 28, StoreBus: 2, Writeback: 6}
+}
+
+// Config assembles a single-core platform.
+type Config struct {
+	IL1, DL1, L2 cache.Config
+	Lat          Latencies
+}
+
+// Result reports one run of a trace.
+type Result struct {
+	Cycles   uint64
+	Accesses int
+	IL1      cache.Stats
+	DL1      cache.Stats
+	L2       cache.Stats
+}
+
+// IPA returns cycles per access, a convenient normalized metric.
+func (r Result) IPA() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Accesses)
+}
+
+// Core is a single LEON3-like core with its cache hierarchy.
+// Not safe for concurrent use.
+type Core struct {
+	il1, dl1, l2 *cache.Cache
+	lat          Latencies
+}
+
+// New builds the platform. The L2 configuration describes this core's
+// partition of the shared L2 (the paper partitions the L2 across the four
+// cores, so a single-task experiment sees a private 128KB slice).
+func New(cfg Config) (*Core, error) {
+	il1, err := cache.New(cfg.IL1)
+	if err != nil {
+		return nil, fmt.Errorf("sim: IL1: %w", err)
+	}
+	dl1, err := cache.New(cfg.DL1)
+	if err != nil {
+		return nil, fmt.Errorf("sim: DL1: %w", err)
+	}
+	l2, err := cache.New(cfg.L2)
+	if err != nil {
+		return nil, fmt.Errorf("sim: L2: %w", err)
+	}
+	lat := cfg.Lat
+	if lat == (Latencies{}) {
+		lat = DefaultLatencies()
+	}
+	return &Core{il1: il1, dl1: dl1, l2: l2, lat: lat}, nil
+}
+
+// Caches returns the three levels, for inspection and reports.
+func (c *Core) Caches() (il1, dl1, l2 *cache.Cache) { return c.il1, c.dl1, c.l2 }
+
+// Reseed draws fresh, independent placement/replacement seeds for every
+// cache level from the per-run seed and flushes contents, modelling the
+// paper's per-run reseeding of the hardware PRNG.
+func (c *Core) Reseed(runSeed uint64) {
+	c.il1.Reseed(prng.Derive(runSeed, 1))
+	c.dl1.Reseed(prng.Derive(runSeed, 2))
+	c.l2.Reseed(prng.Derive(runSeed, 3))
+}
+
+// Flush empties all levels without changing seeds (used by the
+// deterministic baseline, which has no seeds but starts runs cold).
+func (c *Core) Flush() {
+	c.il1.Flush()
+	c.dl1.Flush()
+	c.l2.Flush()
+}
+
+// Run executes the trace to completion and returns its cycle count and
+// per-level statistics for this run only. Cache contents persist across
+// calls; callers start runs with Reseed or Flush, matching the paper's
+// run-to-completion analysis unit.
+func (c *Core) Run(tr trace.Trace) Result {
+	il1Before, dl1Before, l2Before := c.il1.Stats(), c.dl1.Stats(), c.l2.Stats()
+	var cycles uint64
+	lat := c.lat
+	for _, a := range tr {
+		switch a.Kind {
+		case trace.Fetch:
+			cycles += lat.L1Hit
+			if !c.il1.Read(a.Addr).Hit {
+				cycles += c.l2Read(a.Addr)
+			}
+		case trace.Load:
+			cycles += lat.L1Hit
+			if !c.dl1.Read(a.Addr).Hit {
+				cycles += c.l2Read(a.Addr)
+			}
+		default: // Store
+			cycles += lat.L1Hit + lat.StoreBus
+			c.dl1.Write(a.Addr) // write-through: updates line if present
+			r := c.l2.Write(a.Addr)
+			if !r.Hit && r.Filled {
+				cycles += lat.Memory // write-allocate fill
+			}
+			if r.Writeback {
+				cycles += lat.Writeback
+			}
+		}
+	}
+	return Result{
+		Cycles:   cycles,
+		Accesses: len(tr),
+		IL1:      diffStats(il1Before, c.il1.Stats()),
+		DL1:      diffStats(dl1Before, c.dl1.Stats()),
+		L2:       diffStats(l2Before, c.l2.Stats()),
+	}
+}
+
+// l2Read serves an L1 read miss from the L2 partition and returns the
+// extra cycles beyond the L1 hit charge.
+func (c *Core) l2Read(addr uint64) uint64 {
+	cycles := c.lat.L2Hit
+	r := c.l2.Read(addr)
+	if !r.Hit {
+		cycles += c.lat.Memory
+	}
+	if r.Writeback {
+		cycles += c.lat.Writeback
+	}
+	return cycles
+}
+
+func diffStats(before, after cache.Stats) cache.Stats {
+	return cache.Stats{
+		Accesses:   after.Accesses - before.Accesses,
+		Hits:       after.Hits - before.Hits,
+		Misses:     after.Misses - before.Misses,
+		Evictions:  after.Evictions - before.Evictions,
+		Writebacks: after.Writebacks - before.Writebacks,
+		Flushes:    after.Flushes - before.Flushes,
+	}
+}

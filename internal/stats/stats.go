@@ -1,0 +1,328 @@
+// Package stats provides the numeric substrate shared by the MBPTA
+// pipeline: descriptive statistics, empirical distribution functions,
+// histograms (the PDFs of Figure 5), quantiles, and the special functions
+// needed by the statistical tests (regularized incomplete gamma for
+// chi-square, the Kolmogorov distribution for KS).
+//
+// Everything is implemented from scratch on the stdlib math package; no
+// external numeric dependencies.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty reports an empty sample where one or more values are required.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest value; it panics on an empty sample.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic(ErrEmpty)
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value -- the high-water mark (hwm) of the
+// industrial practice in Section 4.4; it panics on an empty sample.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic(ErrEmpty)
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sorted returns a sorted copy of xs.
+func Sorted(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	sort.Float64s(out)
+	return out
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) of xs using linear
+// interpolation between order statistics (Hyndman-Fan type 7, the common
+// default). It panics on an empty sample or p outside [0,1].
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic(ErrEmpty)
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic("stats: quantile probability out of [0,1]")
+	}
+	s := Sorted(xs)
+	return QuantileSorted(s, p)
+}
+
+// QuantileSorted is Quantile for an already-sorted sample.
+func QuantileSorted(s []float64, p float64) float64 {
+	n := len(s)
+	if n == 0 {
+		panic(ErrEmpty)
+	}
+	if n == 1 {
+		return s[0]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	if lo >= n-1 {
+		return s[n-1]
+	}
+	frac := h - float64(lo)
+	return s[lo] + frac*(s[lo+1]-s[lo])
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from a sample.
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	return &ECDF{sorted: Sorted(xs)}, nil
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// At returns P(X <= x), the fraction of the sample at or below x.
+func (e *ECDF) At(x float64) float64 {
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x;
+	// advance over ties to count values <= x.
+	i := sort.SearchFloat64s(e.sorted, x)
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Exceedance returns P(X > x) = 1 - At(x): the empirical CCDF, the form in
+// which the paper plots pWCET curves (Figure 1, Figure 5(c)).
+func (e *ECDF) Exceedance(x float64) float64 { return 1 - e.At(x) }
+
+// Values returns the sorted sample (shared slice; do not modify).
+func (e *ECDF) Values() []float64 { return e.sorted }
+
+// Histogram is a fixed-width binned density estimate, the representation
+// behind the probability density plots of Figure 5(a,b).
+type Histogram struct {
+	Lo, Hi   float64
+	BinWidth float64
+	Counts   []int
+	Total    int
+}
+
+// NewHistogram bins xs into bins equal-width bins spanning [min, max].
+func NewHistogram(xs []float64, bins int) (*Histogram, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	if bins < 1 {
+		return nil, errors.New("stats: histogram needs at least one bin")
+	}
+	lo, hi := Min(xs), Max(xs)
+	if lo == hi {
+		hi = lo + 1 // degenerate sample: single bin of width 1
+	}
+	h := &Histogram{
+		Lo:       lo,
+		Hi:       hi,
+		BinWidth: (hi - lo) / float64(bins),
+		Counts:   make([]int, bins),
+		Total:    len(xs),
+	}
+	for _, x := range xs {
+		i := int((x - lo) / h.BinWidth)
+		if i >= bins {
+			i = bins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		h.Counts[i]++
+	}
+	return h, nil
+}
+
+// Density returns the estimated probability density of bin i.
+func (h *Histogram) Density(i int) float64 {
+	return float64(h.Counts[i]) / (float64(h.Total) * h.BinWidth)
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.BinWidth
+}
+
+// --- special functions -----------------------------------------------
+
+// GammaP returns the regularized lower incomplete gamma function P(a, x),
+// via the series expansion for x < a+1 and the continued fraction
+// otherwise (Numerical Recipes construction, stdlib-only).
+func GammaP(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	case x < a+1:
+		return gammaSeries(a, x)
+	default:
+		return 1 - gammaCF(a, x)
+	}
+}
+
+// GammaQ returns the regularized upper incomplete gamma function Q(a, x).
+func GammaQ(a, x float64) float64 { return 1 - GammaP(a, x) }
+
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for n := 0; n < 500; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaCF(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// ChiSquareCDF returns P(X <= x) for a chi-square distribution with k
+// degrees of freedom.
+func ChiSquareCDF(x float64, k int) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return GammaP(float64(k)/2, x/2)
+}
+
+// ChiSquareSurvival returns P(X > x), the p-value of a chi-square statistic.
+func ChiSquareSurvival(x float64, k int) float64 { return 1 - ChiSquareCDF(x, k) }
+
+// NormalCDF returns the standard normal CDF.
+func NormalCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+
+// KolmogorovSurvival returns Q_KS(lambda) = 2 sum_{j>=1} (-1)^{j-1}
+// exp(-2 j^2 lambda^2), the asymptotic survival function of the Kolmogorov
+// statistic used to convert two-sample KS distances into p-values.
+func KolmogorovSurvival(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for j := 1; j <= 100; j++ {
+		term := sign * math.Exp(-2*float64(j*j)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12*math.Abs(sum) || math.Abs(term) < 1e-300 {
+			break
+		}
+		sign = -sign
+	}
+	q := 2 * sum
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}
+
+// ChiSquareUniformity computes the chi-square statistic of observed counts
+// against a uniform expectation and its p-value (counts-1 degrees of
+// freedom). Used by the placement-uniformity analyses.
+func ChiSquareUniformity(counts []int) (stat, pvalue float64) {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 || len(counts) < 2 {
+		return 0, 1
+	}
+	expected := float64(n) / float64(len(counts))
+	for _, c := range counts {
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	return stat, ChiSquareSurvival(stat, len(counts)-1)
+}

@@ -1,0 +1,281 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("mean = %f", Mean(xs))
+	}
+	if !almost(Variance(xs), 32.0/7, 1e-12) {
+		t.Fatalf("variance = %f", Variance(xs))
+	}
+	if !almost(StdDev(xs), math.Sqrt(32.0/7), 1e-12) {
+		t.Fatalf("stddev = %f", StdDev(xs))
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate cases wrong")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatal("min/max wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Max(nil) did not panic")
+		}
+	}()
+	Max(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.p); !almost(got, c.want, 1e-12) {
+			t.Errorf("quantile(%f) = %f, want %f", c.p, got, c.want)
+		}
+	}
+	if Quantile([]float64{42}, 0.9) != 42 {
+		t.Error("single-element quantile wrong")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad p did not panic")
+		}
+	}()
+	Quantile([]float64{1, 2}, 1.5)
+}
+
+func TestQuickQuantileMonotone(t *testing.T) {
+	g := prng.New(1)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = g.Float64() * 100
+	}
+	s := Sorted(xs)
+	f := func(a, b uint16) bool {
+		pa := float64(a) / 65535
+		pb := float64(b) / 65535
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return QuantileSorted(s, pa) <= QuantileSorted(s, pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {9, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); !almost(got, c.want, 1e-12) {
+			t.Errorf("ECDF(%f) = %f, want %f", c.x, got, c.want)
+		}
+	}
+	if !almost(e.Exceedance(2), 0.25, 1e-12) {
+		t.Errorf("exceedance(2) = %f", e.Exceedance(2))
+	}
+	if e.N() != 4 {
+		t.Errorf("N = %d", e.N())
+	}
+	if _, err := NewECDF(nil); err == nil {
+		t.Error("empty ECDF accepted")
+	}
+}
+
+func TestQuickECDFMonotone(t *testing.T) {
+	g := prng.New(3)
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = g.Float64()*200 - 100
+	}
+	e, _ := NewECDF(xs)
+	f := func(a, b int16) bool {
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return e.At(x) <= e.At(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	h, err := NewHistogram(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("histogram lost samples: %d", total)
+	}
+	// Density integrates to ~1.
+	area := 0.0
+	for i := range h.Counts {
+		area += h.Density(i) * h.BinWidth
+	}
+	if !almost(area, 1, 1e-12) {
+		t.Fatalf("density area = %f", area)
+	}
+	if h.BinCenter(0) <= h.Lo || h.BinCenter(4) >= h.Hi+h.BinWidth {
+		t.Fatal("bin centers out of range")
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h, err := NewHistogram([]float64{5, 5, 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 3 {
+		t.Fatal("constant sample mishandled")
+	}
+	if _, err := NewHistogram(nil, 3); err == nil {
+		t.Fatal("empty histogram accepted")
+	}
+	if _, err := NewHistogram([]float64{1}, 0); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+}
+
+func TestGammaPAgainstKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^-x (exponential CDF).
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := GammaP(1, x); !almost(got, want, 1e-10) {
+			t.Errorf("GammaP(1,%f) = %g, want %g", x, got, want)
+		}
+	}
+	// P(0.5, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.25, 1, 4} {
+		want := math.Erf(math.Sqrt(x))
+		if got := GammaP(0.5, x); !almost(got, want, 1e-10) {
+			t.Errorf("GammaP(0.5,%f) = %g, want %g", x, got, want)
+		}
+	}
+	if !math.IsNaN(GammaP(-1, 1)) || !math.IsNaN(GammaP(1, -1)) {
+		t.Error("invalid arguments not NaN")
+	}
+	if GammaP(3, 0) != 0 {
+		t.Error("GammaP(a,0) != 0")
+	}
+	if !almost(GammaQ(1, 1), math.Exp(-1), 1e-10) {
+		t.Error("GammaQ wrong")
+	}
+}
+
+func TestChiSquareCDF(t *testing.T) {
+	// Known values: chi2 CDF with k=2 is 1-e^{-x/2}.
+	for _, x := range []float64{0.5, 1, 2, 6} {
+		want := 1 - math.Exp(-x/2)
+		if got := ChiSquareCDF(x, 2); !almost(got, want, 1e-10) {
+			t.Errorf("ChiSquareCDF(%f,2) = %g, want %g", x, got, want)
+		}
+	}
+	// Median of chi2_k is ~ k(1-2/(9k))^3.
+	for _, k := range []int{5, 20, 100} {
+		med := float64(k) * math.Pow(1-2.0/(9*float64(k)), 3)
+		if got := ChiSquareCDF(med, k); !almost(got, 0.5, 0.01) {
+			t.Errorf("ChiSquareCDF(median,%d) = %f", k, got)
+		}
+	}
+	if ChiSquareCDF(-1, 3) != 0 {
+		t.Error("negative x CDF not 0")
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5}, {1.96, 0.975}, {-1.96, 0.025}, {3, 0.99865},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.z); !almost(got, c.want, 1e-3) {
+			t.Errorf("NormalCDF(%f) = %f, want %f", c.z, got, c.want)
+		}
+	}
+}
+
+func TestKolmogorovSurvival(t *testing.T) {
+	// Known value: Q(1.36) ~= 0.049 (the classic 5% critical value).
+	if got := KolmogorovSurvival(1.36); !almost(got, 0.049, 0.002) {
+		t.Errorf("KolmogorovSurvival(1.36) = %f", got)
+	}
+	if KolmogorovSurvival(0) != 1 || KolmogorovSurvival(-1) != 1 {
+		t.Error("non-positive lambda must give 1")
+	}
+	if got := KolmogorovSurvival(10); got > 1e-10 {
+		t.Errorf("huge lambda survival = %g", got)
+	}
+	// Monotone decreasing.
+	prev := 1.0
+	for l := 0.1; l < 3; l += 0.1 {
+		cur := KolmogorovSurvival(l)
+		if cur > prev+1e-12 {
+			t.Fatalf("KolmogorovSurvival not monotone at %f", l)
+		}
+		prev = cur
+	}
+}
+
+func TestChiSquareUniformity(t *testing.T) {
+	// Perfectly uniform counts: statistic 0, p-value 1.
+	stat, p := ChiSquareUniformity([]int{10, 10, 10, 10})
+	if stat != 0 || p != 1 {
+		t.Fatalf("uniform counts: stat=%f p=%f", stat, p)
+	}
+	// Extremely skewed counts: tiny p-value.
+	_, p = ChiSquareUniformity([]int{100, 0, 0, 0})
+	if p > 1e-10 {
+		t.Fatalf("skewed counts p = %g", p)
+	}
+	// Degenerate inputs.
+	if _, p := ChiSquareUniformity(nil); p != 1 {
+		t.Fatal("nil counts mishandled")
+	}
+}
+
+func TestChiSquareUniformityOnPRNG(t *testing.T) {
+	g := prng.New(123)
+	counts := make([]int, 64)
+	for i := 0; i < 64*200; i++ {
+		counts[g.Intn(64)]++
+	}
+	_, p := ChiSquareUniformity(counts)
+	if p < 1e-4 {
+		t.Fatalf("PRNG uniformity rejected: p = %g", p)
+	}
+}

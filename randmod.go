@@ -1,0 +1,146 @@
+// Package randmod is the public API of the Random Modulo reproduction: a
+// library for building MBPTA-compliant randomized cache platforms
+// (Random Modulo and hash-based random placement), running measurement
+// campaigns over workloads on a LEON3-like timing simulator, and deriving
+// probabilistic WCET estimates with the MBPTA statistical pipeline.
+//
+// Reproduces: Hernandez, Abella, Gianarro, Andersson, Cazorla, "Random
+// Modulo: a New Processor Cache Design for Real-Time Critical Systems",
+// DAC 2016.
+//
+// # Quick start
+//
+//	w, _ := randmod.WorkloadByName("tblook01")
+//	res, an, err := randmod.RunAndAnalyze(randmod.Campaign{
+//		Spec:       randmod.PaperPlatform(randmod.RM),
+//		Workload:   w,
+//		Runs:       1000,
+//		MasterSeed: 1,
+//	})
+//	fmt.Println("hwm:", res.HWM(), "pWCET@1e-15:", an.PWCET15)
+//
+// The heavy lifting lives in the internal packages (placement policies,
+// Benes networks, the cache and platform simulator, EVT and i.i.d.
+// statistics, hardware-cost models); this package re-exports the stable
+// surface a downstream user needs.
+package randmod
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/evt"
+	"repro/internal/hwcost"
+	"repro/internal/iid"
+	"repro/internal/placement"
+	"repro/internal/workload"
+)
+
+// Placement selects a cache set-placement function.
+type Placement = placement.Kind
+
+// Placement policies: the deterministic baselines, the prior
+// MBPTA-compliant design (HRP), and the paper's contribution (RM).
+const (
+	Modulo  = placement.Modulo
+	XORFold = placement.XORFold
+	HRP     = placement.HRP
+	RM      = placement.RM
+	RMRot   = placement.RMRot
+)
+
+// Replacement selects a cache replacement policy.
+type Replacement = cache.ReplacementKind
+
+// Replacement policies; MBPTA platforms use Random.
+const (
+	LRU    = cache.LRU
+	Random = cache.Random
+	FIFO   = cache.FIFO
+	PLRU   = cache.PLRU
+)
+
+// PlatformSpec describes the simulated platform.
+type PlatformSpec = core.PlatformSpec
+
+// PaperPlatform returns the paper's evaluation platform with the given L1
+// placement (16KB 4-way L1s, 128KB 4-way L2 partition, 32B lines; the L2
+// uses hRP, everything random-replacement).
+func PaperPlatform(l1 Placement) PlatformSpec { return core.PaperPlatform(l1) }
+
+// DeterministicPlatform returns the COTS-like modulo+LRU baseline.
+func DeterministicPlatform() PlatformSpec { return core.DeterministicPlatform() }
+
+// Workload is a benchmark program (a deterministic trace generator).
+type Workload = workload.Workload
+
+// Layout fixes the memory placement of a workload's objects.
+type Layout = workload.Layout
+
+// Workloads returns all built-in workloads: the eleven EEMBC-Automotive-
+// like kernels and the paper's three synthetic footprints.
+func Workloads() []Workload { return workload.All() }
+
+// EEMBCWorkloads returns the eleven EEMBC-Automotive-like kernels.
+func EEMBCWorkloads() []Workload { return workload.EEMBC() }
+
+// WorkloadByName looks a workload up by name (e.g. "tblook01", "synth20k").
+func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// SyntheticWorkload builds the paper's synthetic vector kernel.
+func SyntheticWorkload(footprintBytes, sweeps, strideBytes int) Workload {
+	return workload.Synthetic(footprintBytes, sweeps, strideBytes)
+}
+
+// Campaign is a measurement campaign: one program, many runs, a fresh
+// hardware seed per run.
+type Campaign = core.Campaign
+
+// CampaignResult holds collected measurements and aggregate statistics.
+type CampaignResult = core.CampaignResult
+
+// HWMCampaign is the deterministic industrial-practice baseline
+// (randomized memory layouts on a deterministic platform, high-water mark).
+type HWMCampaign = core.HWMCampaign
+
+// Analysis is the MBPTA pipeline output: i.i.d. tests, Gumbel fit, pWCET.
+type Analysis = core.Analysis
+
+// Analyze applies the MBPTA statistical pipeline to execution times.
+func Analyze(times []float64) (Analysis, error) { return core.Analyze(times) }
+
+// RunAndAnalyze runs a campaign and applies the MBPTA pipeline.
+func RunAndAnalyze(c Campaign) (CampaignResult, Analysis, error) {
+	return core.RunAndAnalyze(c)
+}
+
+// Standard per-run exceedance cutoffs (paper Section 4.3).
+const (
+	CutoffHigh = core.CutoffHigh // 1e-15: highest criticality levels
+	CutoffLow  = core.CutoffLow  // 1e-12: lower criticality levels
+)
+
+// Gumbel is the extreme value distribution used by MBPTA.
+type Gumbel = evt.Gumbel
+
+// PWCET is a fitted probabilistic WCET model.
+type PWCET = evt.PWCET
+
+// WWResult, KSResult and ETResult are the MBPTA admissibility test
+// reports.
+type (
+	WWResult = iid.WWResult
+	KSResult = iid.KSResult
+	ETResult = iid.ETResult
+)
+
+// HardwareASIC evaluates the ASIC cost model for the RM and hRP modules of
+// a cache with the given number of sets (Table 1's design point is 128).
+func HardwareASIC(sets int) hwcost.ASICReport {
+	return hwcost.ASIC(hwcost.Generic45(), sets, placement.HashedAddressBits)
+}
+
+// HardwareFPGA evaluates the FPGA integration model at the paper's design
+// point (Table 1's FPGA half).
+func HardwareFPGA() hwcost.FPGAReport {
+	return hwcost.FPGA(hwcost.DefaultFPGA(), 128, 1024, placement.HashedAddressBits)
+}

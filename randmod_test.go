@@ -1,0 +1,90 @@
+package randmod
+
+import (
+	"testing"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test skipped in -short mode")
+	}
+	w, err := WorkloadByName("rspeed01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, an, err := RunAndAnalyze(Campaign{
+		Spec:       PaperPlatform(RM),
+		Workload:   w,
+		Runs:       300,
+		MasterSeed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Times) != 300 {
+		t.Fatalf("collected %d measurements", len(res.Times))
+	}
+	// The admissibility tests run at the 5% level, so a borderline
+	// rejection on one fixed campaign is within spec; the test guards
+	// against gross dependence, not against 1-in-20 tail events.
+	if an.WW.Stat > 3 {
+		t.Errorf("strong WW dependence signal: %.2f", an.WW.Stat)
+	}
+	if an.KS.P < 0.005 {
+		t.Errorf("strong KS non-stationarity signal: p=%.4f", an.KS.P)
+	}
+	if an.PWCET15 <= res.HWM() {
+		t.Errorf("pWCET %.0f not above hwm %.0f", an.PWCET15, res.HWM())
+	}
+}
+
+func TestPublicSurface(t *testing.T) {
+	if len(Workloads()) != 14 { // 11 EEMBC + 3 synthetic
+		t.Fatalf("Workloads() returned %d entries", len(Workloads()))
+	}
+	if len(EEMBCWorkloads()) != 11 {
+		t.Fatalf("EEMBCWorkloads() returned %d entries", len(EEMBCWorkloads()))
+	}
+	if _, err := WorkloadByName("not-a-workload"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	w := SyntheticWorkload(8*1024, 2, 4)
+	if len(w.Build(Layout{})) == 0 {
+		t.Fatal("synthetic workload built an empty trace")
+	}
+	if CutoffHigh >= CutoffLow {
+		t.Fatal("cutoff constants inverted")
+	}
+}
+
+func TestPublicPlatformSpecs(t *testing.T) {
+	p := PaperPlatform(RM)
+	if _, err := p.Build(); err != nil {
+		t.Fatal(err)
+	}
+	d := DeterministicPlatform()
+	if d.IL1.Placement != Modulo || d.IL1.Replacement != LRU {
+		t.Fatal("deterministic platform wrong")
+	}
+}
+
+func TestPublicHardwareModels(t *testing.T) {
+	asic := HardwareASIC(128)
+	if asic.AreaRatio < 5 {
+		t.Fatalf("ASIC area ratio %.1f, expected ~10x regime", asic.AreaRatio)
+	}
+	fpga := HardwareFPGA()
+	if fpga.RM.FMHz != fpga.Baseline.FMHz {
+		t.Fatal("RM must not degrade FPGA frequency")
+	}
+	if fpga.HRP.FMHz >= fpga.Baseline.FMHz {
+		t.Fatal("hRP must degrade FPGA frequency")
+	}
+}
+
+func TestPublicGumbelSurface(t *testing.T) {
+	g := Gumbel{Mu: 10, Beta: 2}
+	if q := g.QuantileSurvival(1e-15); q <= g.Mu {
+		t.Fatalf("deep quantile %.1f not in the tail", q)
+	}
+}
