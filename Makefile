@@ -1,0 +1,31 @@
+# Development targets; CI (.github/workflows/ci.yml) runs `make verify`
+# equivalents on every push.
+
+GO ?= go
+
+.PHONY: build test test-short race vet verify bench full-bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+# The tier-1 gate plus vet and the race detector.
+verify: vet build race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -v .
+
+# Paper-scale regeneration (REPRO_WORKERS=N to size the worker pool).
+full-bench:
+	REPRO_FULL=1 $(GO) test -bench=. -benchtime=1x -timeout=4h -v .

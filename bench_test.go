@@ -14,12 +14,17 @@ import (
 	"repro/internal/experiments"
 )
 
-// benchScale returns the campaign scale for benchmark iterations.
+// benchScale returns the campaign scale for benchmark iterations. The
+// worker pool defaults to GOMAXPROCS (REPRO_WORKERS overrides it);
+// campaign results are bit-identical for any pool size, so the rendered
+// tables do not depend on the host's core count.
 func benchScale() experiments.Scale {
+	s := experiments.Scale{Runs: 120, HWMLayouts: 20, SynthRuns: 120, Synth160Run: 40}
 	if os.Getenv("REPRO_FULL") == "1" {
-		return experiments.FullScale()
+		s = experiments.FullScale()
 	}
-	return experiments.Scale{Runs: 120, HWMLayouts: 20, SynthRuns: 120, Synth160Run: 40}
+	s.Workers = experiments.WorkersFromEnv()
+	return s
 }
 
 // BenchmarkTable1_HardwareCost regenerates Table 1: ASIC area/delay of the

@@ -13,11 +13,13 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|table1|table2|fig1|fig4a|fig4b|fig5|avgperf|collision|ablations] [-full] [-csv dir]
+//	paperbench [-exp all|table1|table2|fig1|fig4a|fig4b|fig5|avgperf|collision|ablations] [-full] [-workers N] [-csv dir]
 //
 // -full restores the paper's campaign sizes (1000 runs per benchmark);
-// the default scale regenerates everything in a few minutes. Set -csv to
-// also write machine-readable series for plotting.
+// the default scale regenerates everything in a few minutes. -workers
+// sets the campaign worker-pool size (default: GOMAXPROCS; results are
+// bit-identical for any value, see REPRO_WORKERS). Set -csv to also
+// write machine-readable series for plotting.
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig1, fig4a, fig4b, fig5, avgperf, collision, ablations, multicore, convergence)")
 	full := flag.Bool("full", false, "use the paper's campaign sizes (1000 runs)")
+	workers := flag.Int("workers", experiments.WorkersFromEnv(), "campaign worker-pool size (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "directory for machine-readable CSV output (optional)")
 	flag.Parse()
 
@@ -41,6 +44,7 @@ func main() {
 	if *full {
 		scale = experiments.FullScale()
 	}
+	scale.Workers = *workers
 
 	run := func(name string, f func() (string, error)) {
 		if *exp != "all" && *exp != name {

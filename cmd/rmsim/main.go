@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rmsim -workload tblook01 -placement RM -runs 1000 [-seed N] [-times out.txt]
+//	rmsim -workload tblook01 -placement RM -runs 1000 [-workers N] [-seed N] [-times out.txt]
 //
 // Placement selects the L1 policy (Modulo, XORFold, hRP, RM, RM-rot); the
 // L2 follows the paper's setup (hRP with random replacement) unless
@@ -29,6 +29,7 @@ func main() {
 	wname := flag.String("workload", "synth20k", "workload name (see -list)")
 	pname := flag.String("placement", "RM", "L1 placement: Modulo, XORFold, hRP, RM, RM-rot")
 	runs := flag.Int("runs", 300, "number of runs (seeds)")
+	workers := flag.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS; any value yields identical times)")
 	seed := flag.Uint64("seed", experimentsSeed, "master seed")
 	timesOut := flag.String("times", "", "write raw per-run cycle counts to this file")
 	list := flag.Bool("list", false, "list available workloads and exit")
@@ -55,7 +56,7 @@ func main() {
 		spec = core.DeterministicPlatform()
 	}
 	res, err := core.Campaign{
-		Spec: spec, Workload: w, Runs: *runs, MasterSeed: *seed,
+		Spec: spec, Workload: w, Runs: *runs, MasterSeed: *seed, Workers: *workers,
 	}.Run()
 	if err != nil {
 		fatal(err)

@@ -21,6 +21,7 @@ func main() {
 		Workload:   w,
 		Runs:       300,
 		MasterSeed: 1,
+		Workers:    0, // shard runs over GOMAXPROCS workers; times are worker-count invariant
 	})
 	if err != nil {
 		log.Fatal(err)

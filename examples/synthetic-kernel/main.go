@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
 
 	"repro"
@@ -26,6 +27,7 @@ func main() {
 			Workload:   w,
 			Runs:       runs,
 			MasterSeed: 42,
+			Workers:    runtime.GOMAXPROCS(0), // explicit pool size; 0 means the same default
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -100,11 +100,20 @@ type Campaign struct {
 	MasterSeed uint64
 	// Layout optionally overrides the default memory layout.
 	Layout *workload.Layout
+	// Workers shards the runs across a pool of simulation workers, each
+	// with its own platform instance. Zero or negative selects
+	// runtime.GOMAXPROCS(0). Runs are independent (each reseeds and
+	// flushes every level), so Times and all aggregates are bit-identical
+	// for any worker count.
+	Workers int
 }
 
 // CampaignResult holds the collected measurements.
 type CampaignResult struct {
 	Times []float64 // execution time of each run, in cycles
+	// Levels holds the exact per-level cache counters summed over the
+	// whole campaign (deterministic for any worker count).
+	Levels LevelStats
 	// Aggregated per-level miss ratios over the whole campaign.
 	IL1Miss, DL1Miss, L2Miss float64
 	Trace                    struct {
@@ -123,7 +132,8 @@ func (r CampaignResult) Mean() float64 { return stats.Mean(r.Times) }
 
 // Run executes the campaign: per run, a fresh seed is derived, all cache
 // levels reseed and flush (the paper's run-to-completion protocol), and
-// the program's trace is replayed.
+// the program's trace is replayed. Runs are sharded across Workers
+// platform instances; the trace is built once and shared read-only.
 func (c Campaign) Run() (CampaignResult, error) {
 	if c.Runs < 1 {
 		return CampaignResult{}, errors.New("core: campaign needs at least one run")
@@ -139,38 +149,24 @@ func (c Campaign) Run() (CampaignResult, error) {
 	if len(tr) == 0 {
 		return CampaignResult{}, fmt.Errorf("core: workload %s built an empty trace", c.Workload.Name)
 	}
-	platform, err := c.Spec.Build()
-	if err != nil {
-		return CampaignResult{}, err
-	}
-	res := CampaignResult{Times: make([]float64, 0, c.Runs)}
+	res := CampaignResult{Times: make([]float64, c.Runs)}
 	f, l, st := tr.Counts()
 	res.Trace.Accesses = len(tr)
 	res.Trace.Fetches, res.Trace.Loads, res.Trace.Stores = f, l, st
 
-	var il1A, il1M, dl1A, dl1M, l2A, l2M uint64
-	for run := 0; run < c.Runs; run++ {
-		platform.Reseed(prng.Derive(c.MasterSeed, run))
-		r := platform.Run(tr)
-		res.Times = append(res.Times, float64(r.Cycles))
-		il1A += r.IL1.Accesses
-		il1M += r.IL1.Misses
-		dl1A += r.DL1.Accesses
-		dl1M += r.DL1.Misses
-		l2A += r.L2.Accesses
-		l2M += r.L2.Misses
+	totals, err := runShards(c.Spec, c.Runs, c.Workers, res.Times,
+		func(p *sim.Core, run int) (sim.Result, error) {
+			p.Reseed(prng.Derive(c.MasterSeed, run))
+			return p.Run(tr), nil
+		})
+	if err != nil {
+		return CampaignResult{}, err
 	}
-	res.IL1Miss = ratio(il1M, il1A)
-	res.DL1Miss = ratio(dl1M, dl1A)
-	res.L2Miss = ratio(l2M, l2A)
+	res.Levels = totals
+	res.IL1Miss = totals.IL1.MissRatio()
+	res.DL1Miss = totals.DL1.MissRatio()
+	res.L2Miss = totals.L2.MissRatio()
 	return res, nil
-}
-
-func ratio(num, den uint64) float64 {
-	if den == 0 {
-		return 0
-	}
-	return float64(num) / float64(den)
 }
 
 // HWMCampaign is the deterministic industrial-practice baseline: the same
@@ -183,6 +179,11 @@ type HWMCampaign struct {
 	Workload   workload.Workload
 	Runs       int
 	MasterSeed uint64
+	// Workers shards the layout runs across a pool of simulation workers
+	// (zero or negative selects runtime.GOMAXPROCS(0)). Each run draws
+	// its layout from a PRNG stream derived from the run index, so Times
+	// is bit-identical for any worker count.
+	Workers int
 }
 
 // HWMResult reports the deterministic baseline campaign.
@@ -192,24 +193,40 @@ type HWMResult struct {
 	Mean  float64
 }
 
+// hwmSeedTag keeps the baseline's layout streams disjoint from the
+// randomized campaign's hardware-seed streams under the same master seed.
+const hwmSeedTag = 0xDE7
+
 // Run executes the baseline campaign: each run rebuilds the trace under a
-// freshly randomized layout and starts from cold caches.
+// freshly randomized layout and starts from cold caches. The layout of
+// run k is drawn from a PRNG stream derived from (MasterSeed, k) alone --
+// runs are independent, so they shard across Workers platform instances
+// with bit-identical results for any worker count.
 func (c HWMCampaign) Run() (HWMResult, error) {
 	if c.Runs < 1 {
 		return HWMResult{}, errors.New("core: campaign needs at least one run")
 	}
-	platform, err := c.Spec.Build()
+	if c.Workload.Build == nil {
+		return HWMResult{}, errors.New("core: campaign needs a workload")
+	}
+	times := make([]float64, c.Runs)
+	_, err := runShards(c.Spec, c.Runs, c.Workers, times,
+		func(p *sim.Core, run int) (sim.Result, error) {
+			seed := prng.Derive(c.MasterSeed^hwmSeedTag, run)
+			layout := workload.RandomizedLayout(prng.New(seed))
+			tr := c.Workload.Build(layout)
+			if len(tr) == 0 {
+				return sim.Result{}, fmt.Errorf("core: workload %s built an empty trace for run %d", c.Workload.Name, run)
+			}
+			// Reseed rather than Flush: deterministic policies ignore the
+			// seed (so the typical modulo+LRU baseline is unchanged), while
+			// any randomized policy in Spec becomes a pure function of the
+			// run index instead of carrying PRNG state across runs.
+			p.Reseed(seed)
+			return p.Run(tr), nil
+		})
 	if err != nil {
 		return HWMResult{}, err
-	}
-	g := prng.New(c.MasterSeed ^ 0xDE7)
-	times := make([]float64, 0, c.Runs)
-	for run := 0; run < c.Runs; run++ {
-		layout := workload.RandomizedLayout(g)
-		tr := c.Workload.Build(layout)
-		platform.Flush()
-		r := platform.Run(tr)
-		times = append(times, float64(r.Cycles))
 	}
 	return HWMResult{Times: times, HWM: stats.Max(times), Mean: stats.Mean(times)}, nil
 }

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// LevelStats aggregates the per-level cache counters of a whole campaign.
+// Counters are exact sums over runs, so the aggregate is identical for any
+// worker count and any scheduling of the shards.
+type LevelStats struct {
+	IL1, DL1, L2 cache.Stats
+}
+
+func (t *LevelStats) add(r sim.Result) {
+	t.IL1 = addStats(t.IL1, r.IL1)
+	t.DL1 = addStats(t.DL1, r.DL1)
+	t.L2 = addStats(t.L2, r.L2)
+}
+
+func addStats(a, b cache.Stats) cache.Stats {
+	return cache.Stats{
+		Accesses:   a.Accesses + b.Accesses,
+		Hits:       a.Hits + b.Hits,
+		Misses:     a.Misses + b.Misses,
+		Evictions:  a.Evictions + b.Evictions,
+		Writebacks: a.Writebacks + b.Writebacks,
+		Flushes:    a.Flushes + b.Flushes,
+	}
+}
+
+// normWorkers resolves a Workers knob: non-positive selects
+// runtime.GOMAXPROCS(0), and the pool never exceeds one worker per run.
+func normWorkers(workers, runs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runs {
+		workers = runs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ShardRuns executes runs [0, runs) across a pool of workers. Each worker
+// calls build once to obtain its private execution context (simulators are
+// not safe for concurrent use) and then processes a contiguous block of
+// run indices; do must derive all randomness from the run index alone and
+// write any per-run output into run-indexed slots, which makes results
+// bit-identical for any worker count. Non-positive workers selects
+// runtime.GOMAXPROCS(0). The error of the lowest-numbered failing shard is
+// returned. Exposed for drivers whose execution context is not a single
+// sim.Core (e.g. the multicore contention study's sim.System).
+func ShardRuns[T any](workers, runs int, build func() (T, error), do func(ctx T, run int) error) error {
+	workers = normWorkers(workers, runs)
+	if workers == 1 {
+		ctx, err := build()
+		if err != nil {
+			return err
+		}
+		for run := 0; run < runs; run++ {
+			if err := do(ctx, run); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, workers)
+	chunk := (runs + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, runs)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			ctx, err := build()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for run := lo; run < hi; run++ {
+				if err := do(ctx, run); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runShards shards a single-core campaign: each worker builds its own
+// platform from spec, do performs one run on it, per-run cycle counts land
+// in times[run], and the per-level counters are summed into the returned
+// LevelStats (integer sums are order-independent, so the aggregate is as
+// schedule-proof as the measurement vector).
+func runShards(spec PlatformSpec, runs, workers int, times []float64, do func(p *sim.Core, run int) (sim.Result, error)) (LevelStats, error) {
+	var mu sync.Mutex
+	var agg LevelStats
+	err := ShardRuns(workers, runs, spec.Build, func(p *sim.Core, run int) error {
+		r, err := do(p, run)
+		if err != nil {
+			return err
+		}
+		times[run] = float64(r.Cycles)
+		mu.Lock()
+		agg.add(r)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return LevelStats{}, err
+	}
+	return agg, nil
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/placement"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// workerCounts are the pool sizes the determinism tests sweep: the
+// sequential path, a two-way split, the GOMAXPROCS default, and a pool
+// wider than the host (and, for short campaigns, wider than the run count,
+// exercising the workers>runs clamp).
+func workerCounts() []int {
+	return []int{1, 2, runtime.GOMAXPROCS(0), 2*runtime.GOMAXPROCS(0) + 3}
+}
+
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	w, err := workload.ByName("puwmod01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref CampaignResult
+	for i, workers := range workerCounts() {
+		res, err := Campaign{
+			Spec: PaperPlatform(placement.RM), Workload: w,
+			Runs: 50, MasterSeed: 1234, Workers: workers,
+		}.Run()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if len(res.Times) != len(ref.Times) {
+			t.Fatalf("workers=%d: %d times, want %d", workers, len(res.Times), len(ref.Times))
+		}
+		for run := range ref.Times {
+			if res.Times[run] != ref.Times[run] {
+				t.Fatalf("workers=%d: Times[%d] = %v, sequential %v (not bit-identical)",
+					workers, run, res.Times[run], ref.Times[run])
+			}
+		}
+		if res.Levels != ref.Levels {
+			t.Errorf("workers=%d: Levels %+v, sequential %+v", workers, res.Levels, ref.Levels)
+		}
+		if res.IL1Miss != ref.IL1Miss || res.DL1Miss != ref.DL1Miss || res.L2Miss != ref.L2Miss {
+			t.Errorf("workers=%d: miss ratios (%v %v %v) differ from sequential (%v %v %v)",
+				workers, res.IL1Miss, res.DL1Miss, res.L2Miss,
+				ref.IL1Miss, ref.DL1Miss, ref.L2Miss)
+		}
+		if res.Trace != ref.Trace {
+			t.Errorf("workers=%d: trace accounting %+v, sequential %+v", workers, res.Trace, ref.Trace)
+		}
+	}
+}
+
+func TestHWMCampaignDeterministicAcrossWorkers(t *testing.T) {
+	w, err := workload.ByName("ttsprk01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref HWMResult
+	for i, workers := range workerCounts() {
+		res, err := HWMCampaign{
+			Spec: DeterministicPlatform(), Workload: w,
+			Runs: 20, MasterSeed: 1234, Workers: workers,
+		}.Run()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		for run := range ref.Times {
+			if res.Times[run] != ref.Times[run] {
+				t.Fatalf("workers=%d: Times[%d] = %v, sequential %v (not bit-identical)",
+					workers, run, res.Times[run], ref.Times[run])
+			}
+		}
+		if res.HWM != ref.HWM || res.Mean != ref.Mean {
+			t.Errorf("workers=%d: hwm/mean (%v, %v) differ from sequential (%v, %v)",
+				workers, res.HWM, res.Mean, ref.HWM, ref.Mean)
+		}
+	}
+}
+
+func TestHWMCampaignDeterministicWithRandomizedSpec(t *testing.T) {
+	// With a randomized platform the replacement PRNG must not carry state
+	// across runs, or worker counts would diverge.
+	w, err := workload.ByName("cacheb01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) []float64 {
+		res, err := HWMCampaign{
+			Spec: PaperPlatform(placement.RM), Workload: w,
+			Runs: 12, MasterSeed: 77, Workers: workers,
+		}.Run()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res.Times
+	}
+	seq, par := run(1), run(4)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("Times[%d]: sequential %v vs 4 workers %v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestHWMCampaignValidation(t *testing.T) {
+	spec := DeterministicPlatform()
+	if _, err := (HWMCampaign{Spec: spec, Runs: 5}).Run(); err == nil {
+		t.Fatal("missing workload accepted")
+	}
+	empty := workload.Workload{
+		Name:  "empty",
+		Build: func(workload.Layout) trace.Trace { return nil },
+	}
+	if _, err := (HWMCampaign{Spec: spec, Workload: empty, Runs: 5}).Run(); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestCampaignRejectsBadSpec(t *testing.T) {
+	w, err := workload.ByName("puwmod01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := PaperPlatform(placement.RM)
+	bad.L1Ways = 3 // sets no longer a power of two
+	if _, err := (Campaign{Spec: bad, Workload: w, Runs: 8, Workers: 4}).Run(); err == nil {
+		t.Fatal("invalid platform spec accepted by the worker pool")
+	}
+	if _, err := (HWMCampaign{Spec: bad, Workload: w, Runs: 8, Workers: 4}).Run(); err == nil {
+		t.Fatal("invalid platform spec accepted by the hwm worker pool")
+	}
+}
+
+func TestNormWorkers(t *testing.T) {
+	cases := []struct{ workers, runs, want int }{
+		{1, 10, 1},
+		{4, 10, 4},
+		{8, 3, 3},                             // never more workers than runs
+		{0, 5, min(runtime.GOMAXPROCS(0), 5)}, // default: GOMAXPROCS
+		{-2, 5, min(runtime.GOMAXPROCS(0), 5)},
+	}
+	for _, c := range cases {
+		if got := normWorkers(c.workers, c.runs); got != c.want {
+			t.Errorf("normWorkers(%d, %d) = %d, want %d", c.workers, c.runs, got, c.want)
+		}
+	}
+}
+
+// TestWorkerPoolUnderRace gives the race detector a wide pool over a short
+// campaign (go test -race ./internal/core/ exercises it).
+func TestWorkerPoolUnderRace(t *testing.T) {
+	w, err := workload.ByName("rspeed01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Campaign{
+		Spec: PaperPlatform(placement.RM), Workload: w,
+		Runs: 16, MasterSeed: 9, Workers: 8,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Times) != 16 {
+		t.Fatalf("got %d times", len(res.Times))
+	}
+	for i, x := range res.Times {
+		if x <= 0 {
+			t.Fatalf("Times[%d] = %v: a shard left its slot unwritten", i, x)
+		}
+	}
+}

@@ -127,9 +127,9 @@ func (r AblationResult) Render() string {
 	return b.String()
 }
 
-func ablationPoint(design string, spec core.PlatformSpec, w workload.Workload, runs int) (AblationRow, error) {
+func ablationPoint(design string, spec core.PlatformSpec, w workload.Workload, runs, workers int) (AblationRow, error) {
 	res, an, err := core.RunAndAnalyze(core.Campaign{
-		Spec: spec, Workload: w, Runs: runs, MasterSeed: MasterSeed,
+		Spec: spec, Workload: w, Runs: runs, MasterSeed: MasterSeed, Workers: workers,
 	})
 	if err != nil {
 		return AblationRow{}, fmt.Errorf("ablation %s: %w", design, err)
@@ -152,7 +152,7 @@ func AblationReplacement(s Scale, benchName string) (AblationResult, error) {
 		spec := core.PaperPlatform(placement.RM)
 		spec.IL1.Replacement = repl
 		spec.DL1.Replacement = repl
-		row, err := ablationPoint(fmt.Sprintf("RM + %v L1 replacement", repl), spec, w, s.Runs/2)
+		row, err := ablationPoint(fmt.Sprintf("RM + %v L1 replacement", repl), spec, w, s.Runs/2, s.Workers)
 		if err != nil {
 			return res, err
 		}
@@ -177,7 +177,7 @@ func AblationL2Policy(s Scale, benchName string) (AblationResult, error) {
 		if l2 == placement.Modulo || l2 == placement.XORFold {
 			spec.L2.Replacement = cache.LRU
 		}
-		row, err := ablationPoint(fmt.Sprintf("RM L1 + %v L2", l2), spec, w, s.Runs/2)
+		row, err := ablationPoint(fmt.Sprintf("RM L1 + %v L2", l2), spec, w, s.Runs/2, s.Workers)
 		if err != nil {
 			return res, err
 		}
@@ -212,7 +212,7 @@ func AblationEstimator(s Scale) (EstimatorResult, error) {
 	for _, w := range workload.EEMBC() {
 		c, err := core.Campaign{
 			Spec: core.PaperPlatform(placement.RM), Workload: w,
-			Runs: s.Runs, MasterSeed: MasterSeed,
+			Runs: s.Runs, MasterSeed: MasterSeed, Workers: s.Workers,
 		}.Run()
 		if err != nil {
 			return res, err
@@ -270,7 +270,7 @@ func AblationRMVariant(s Scale, benchName string) (AblationResult, error) {
 	}
 	res := AblationResult{Workload: benchName}
 	for _, l1 := range []placement.Kind{placement.RM, placement.RMRot, placement.HRP} {
-		row, err := ablationPoint(fmt.Sprintf("%v L1 placement", l1), core.PaperPlatform(l1), w, s.Runs/2)
+		row, err := ablationPoint(fmt.Sprintf("%v L1 placement", l1), core.PaperPlatform(l1), w, s.Runs/2, s.Workers)
 		if err != nil {
 			return res, err
 		}

@@ -11,6 +11,7 @@ package experiments
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -24,6 +25,11 @@ type Scale struct {
 	HWMLayouts  int // layouts for the deterministic hwm baseline
 	SynthRuns   int // runs for the synthetic-kernel campaigns
 	Synth160Run int // runs for the 160KB synthetic kernel (costliest)
+	// Workers is the campaign worker-pool size threaded into every
+	// core.Campaign and core.HWMCampaign the drivers launch. Zero (the
+	// default) selects runtime.GOMAXPROCS(0); results are bit-identical
+	// for any value.
+	Workers int
 }
 
 // DefaultScale returns the reduced scale used by `go test -bench`.
@@ -37,12 +43,24 @@ func FullScale() Scale {
 }
 
 // FromEnv returns FullScale when REPRO_FULL=1 is set, DefaultScale
-// otherwise.
+// otherwise, with the worker-pool size from REPRO_WORKERS.
 func FromEnv() Scale {
+	s := DefaultScale()
 	if os.Getenv("REPRO_FULL") == "1" {
-		return FullScale()
+		s = FullScale()
 	}
-	return DefaultScale()
+	s.Workers = WorkersFromEnv()
+	return s
+}
+
+// WorkersFromEnv reads the REPRO_WORKERS override; zero (unset or
+// unparsable) defers to the GOMAXPROCS default.
+func WorkersFromEnv() int {
+	n, err := strconv.Atoi(os.Getenv("REPRO_WORKERS"))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
 }
 
 // MasterSeed is the campaign seed used across the harness; change it to
@@ -57,21 +75,26 @@ var eembcInitials = map[string]string{
 }
 
 // Initials returns the paper's abbreviation for an EEMBC workload name.
+// Unknown names fall back to their first two letters.
 func Initials(name string) string {
 	if s, ok := eembcInitials[name]; ok {
 		return s
 	}
+	if len(name) < 2 {
+		return strings.ToUpper(name)
+	}
 	return strings.ToUpper(name[:2])
 }
 
-// runRM runs an MBPTA campaign with the given L1 placement and returns
-// times plus analysis.
-func runAnalyzed(l1 placement.Kind, w workload.Workload, runs int) (core.CampaignResult, core.Analysis, error) {
+// runAnalyzed runs an MBPTA campaign with the given L1 placement and
+// returns times plus analysis.
+func runAnalyzed(l1 placement.Kind, w workload.Workload, runs, workers int) (core.CampaignResult, core.Analysis, error) {
 	return core.RunAndAnalyze(core.Campaign{
 		Spec:       core.PaperPlatform(l1),
 		Workload:   w,
 		Runs:       runs,
 		MasterSeed: MasterSeed,
+		Workers:    workers,
 	})
 }
 

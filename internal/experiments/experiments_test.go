@@ -34,11 +34,53 @@ func TestInitials(t *testing.T) {
 	cases := map[string]string{
 		"a2time01": "A2", "cacheb01": "CB", "canrdr01": "CN",
 		"tblook01": "TB", "ttsprk01": "TT", "unknown": "UN",
+		// Regression: names shorter than two characters used to panic on
+		// the name[:2] fallback.
+		"x": "X", "": "",
 	}
 	for name, want := range cases {
 		if got := Initials(name); got != want {
-			t.Errorf("Initials(%s) = %s, want %s", name, got, want)
+			t.Errorf("Initials(%q) = %q, want %q", name, got, want)
 		}
+	}
+}
+
+func TestWorkersFromEnv(t *testing.T) {
+	t.Setenv("REPRO_WORKERS", "3")
+	if got := WorkersFromEnv(); got != 3 {
+		t.Errorf("WorkersFromEnv() = %d, want 3", got)
+	}
+	if got := FromEnv().Workers; got != 3 {
+		t.Errorf("FromEnv().Workers = %d, want 3", got)
+	}
+	t.Setenv("REPRO_WORKERS", "garbage")
+	if got := WorkersFromEnv(); got != 0 {
+		t.Errorf("WorkersFromEnv() on garbage = %d, want 0 (GOMAXPROCS default)", got)
+	}
+	t.Setenv("REPRO_WORKERS", "-4")
+	if got := WorkersFromEnv(); got != 0 {
+		t.Errorf("WorkersFromEnv() on negative = %d, want 0", got)
+	}
+}
+
+// TestDriversDeterministicAcrossWorkers pins the tentpole property at the
+// driver level: a full experiment renders identically for any pool size.
+func TestDriversDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test skipped in -short mode")
+	}
+	s := tinyScale()
+	render := func(workers int) string {
+		s.Workers = workers
+		r, err := Figure5(s, 8)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return r.Render()
+	}
+	seq, par := render(1), render(4)
+	if seq != par {
+		t.Errorf("Figure5 renders differ between 1 and 4 workers:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", seq, par)
 	}
 }
 

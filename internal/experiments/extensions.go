@@ -67,19 +67,19 @@ func Multicore(s Scale, subjectName string) (MulticoreResult, error) {
 		runs = 40
 	}
 	collect := func(withHogs bool) ([]float64, error) {
-		times := make([]float64, 0, runs)
-		sys, err := mkSystem()
-		if err != nil {
-			return nil, err
-		}
-		for r := 0; r < runs; r++ {
+		times := make([]float64, runs)
+		err := core.ShardRuns(s.Workers, runs, mkSystem, func(sys *sim.System, r int) error {
 			sys.Reseed(prng.Derive(MasterSeed, r))
 			traces := []trace.Trace{subjectTrace, nil, nil, nil}
 			if withHogs {
 				traces = []trace.Trace{subjectTrace, hogTrace, hogTrace, hogTrace}
 			}
 			out := sys.RunAll(traces)
-			times = append(times, float64(out[0].Cycles))
+			times[r] = float64(out[0].Cycles)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		return times, nil
 	}
@@ -168,7 +168,7 @@ func ConvergenceStudy(s Scale, benchName string) (ConvergenceResult, error) {
 	total := s.Runs * 2
 	c, err := core.Campaign{
 		Spec: core.PaperPlatform(placement.RM), Workload: w,
-		Runs: total, MasterSeed: MasterSeed,
+		Runs: total, MasterSeed: MasterSeed, Workers: s.Workers,
 	}.Run()
 	if err != nil {
 		return res, err

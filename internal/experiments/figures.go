@@ -31,7 +31,7 @@ func Figure1(s Scale) (Fig1Result, error) {
 	if err != nil {
 		return Fig1Result{}, err
 	}
-	res, an, err := runAnalyzed(placement.RM, w, s.Runs)
+	res, an, err := runAnalyzed(placement.RM, w, s.Runs, s.Workers)
 	if err != nil {
 		return Fig1Result{}, err
 	}
@@ -89,11 +89,11 @@ func Figure4a(s Scale) (Fig4aResult, error) {
 	var res Fig4aResult
 	res.BestRatio = math.Inf(1)
 	for _, w := range workload.EEMBC() {
-		_, rm, err := runAnalyzed(placement.RM, w, s.Runs)
+		_, rm, err := runAnalyzed(placement.RM, w, s.Runs, s.Workers)
 		if err != nil {
 			return res, fmt.Errorf("fig4a %s RM: %w", w.Name, err)
 		}
-		_, hrp, err := runAnalyzed(placement.HRP, w, s.Runs)
+		_, hrp, err := runAnalyzed(placement.HRP, w, s.Runs, s.Workers)
 		if err != nil {
 			return res, fmt.Errorf("fig4a %s hRP: %w", w.Name, err)
 		}
@@ -147,7 +147,7 @@ type Fig4bResult struct {
 func Figure4b(s Scale) (Fig4bResult, error) {
 	var res Fig4bResult
 	for _, w := range workload.EEMBC() {
-		_, rm, err := runAnalyzed(placement.RM, w, s.Runs)
+		_, rm, err := runAnalyzed(placement.RM, w, s.Runs, s.Workers)
 		if err != nil {
 			return res, fmt.Errorf("fig4b %s RM: %w", w.Name, err)
 		}
@@ -156,6 +156,7 @@ func Figure4b(s Scale) (Fig4bResult, error) {
 			Workload:   w,
 			Runs:       s.HWMLayouts,
 			MasterSeed: MasterSeed,
+			Workers:    s.Workers,
 		}.Run()
 		if err != nil {
 			return res, fmt.Errorf("fig4b %s hwm: %w", w.Name, err)
@@ -214,7 +215,7 @@ func Figure5(s Scale, footprintKB int) (Fig5Result, error) {
 	w := workload.Synthetic(footprintKB*1024, 50, 4)
 	res := Fig5Result{FootprintKB: footprintKB}
 	for _, kind := range []placement.Kind{placement.RM, placement.HRP} {
-		c, an, err := runAnalyzed(kind, w, runs)
+		c, an, err := runAnalyzed(kind, w, runs, s.Workers)
 		if err != nil {
 			return res, fmt.Errorf("fig5 %dKB %v: %w", footprintKB, kind, err)
 		}

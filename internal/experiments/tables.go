@@ -70,7 +70,7 @@ type Table2Result struct {
 func Table2(s Scale) (Table2Result, error) {
 	res := Table2Result{Runs: s.Runs}
 	for _, w := range workload.EEMBC() {
-		_, an, err := runAnalyzed(placement.RM, w, s.Runs)
+		_, an, err := runAnalyzed(placement.RM, w, s.Runs, s.Workers)
 		if err != nil {
 			return res, fmt.Errorf("table2 %s: %w", w.Name, err)
 		}
@@ -147,7 +147,7 @@ func AveragePerformance(s Scale) (AvgPerfResult, error) {
 	for _, w := range workload.EEMBC() {
 		rm, err := core.Campaign{
 			Spec: core.PaperPlatform(placement.RM), Workload: w,
-			Runs: s.Runs / 4, MasterSeed: MasterSeed,
+			Runs: s.Runs / 4, MasterSeed: MasterSeed, Workers: s.Workers,
 		}.Run()
 		if err != nil {
 			return res, err

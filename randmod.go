@@ -92,15 +92,28 @@ func SyntheticWorkload(footprintBytes, sweeps, strideBytes int) Workload {
 }
 
 // Campaign is a measurement campaign: one program, many runs, a fresh
-// hardware seed per run.
+// hardware seed per run. Set Workers to shard the runs across a pool of
+// simulation workers (0 = GOMAXPROCS); Times is bit-identical for any
+// worker count.
 type Campaign = core.Campaign
 
 // CampaignResult holds collected measurements and aggregate statistics.
 type CampaignResult = core.CampaignResult
 
+// LevelStats holds the exact per-level cache counters of a campaign,
+// summed deterministically across worker shards.
+type LevelStats = core.LevelStats
+
 // HWMCampaign is the deterministic industrial-practice baseline
 // (randomized memory layouts on a deterministic platform, high-water mark).
+// It accepts the same Workers knob as Campaign.
 type HWMCampaign = core.HWMCampaign
+
+// ShardRuns fans a loop of independent, run-indexed simulations out over a
+// worker pool; see core.ShardRuns for the determinism contract.
+func ShardRuns[T any](workers, runs int, build func() (T, error), do func(ctx T, run int) error) error {
+	return core.ShardRuns(workers, runs, build, do)
+}
 
 // Analysis is the MBPTA pipeline output: i.i.d. tests, Gumbel fit, pWCET.
 type Analysis = core.Analysis
