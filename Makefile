@@ -1,14 +1,22 @@
 # Development targets; CI (.github/workflows/ci.yml) runs `make verify`
-# equivalents on every push.
+# and `make smoke` equivalents on every push.
 
 GO ?= go
 
-.PHONY: build test test-short race vet verify bench full-bench
+.PHONY: build test test-short race vet fmt lint verify smoke bench full-bench
 
 build:
 	$(GO) build ./...
 
 vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Fails when any file needs gofmt; CI's lint gate.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
 test:
@@ -20,12 +28,16 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# The tier-1 gate plus vet and the race detector.
-verify: vet build race
+# The tier-1 gate plus lint and the race detector.
+verify: lint build race
+
+# Exercise the binaries end-to-end at smoke scale (what CI runs).
+smoke:
+	$(GO) run ./cmd/paperbench -exp table2 -short -timeout 10m
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -v .
 
-# Paper-scale regeneration (REPRO_WORKERS=N to size the worker pool).
+# Paper-scale regeneration (REPRO_WORKERS=N to size the engine pool).
 full-bench:
 	REPRO_FULL=1 $(GO) test -bench=. -benchtime=1x -timeout=4h -v .

@@ -8,6 +8,7 @@
 package randmod
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -15,7 +16,7 @@ import (
 )
 
 // benchScale returns the campaign scale for benchmark iterations. The
-// worker pool defaults to GOMAXPROCS (REPRO_WORKERS overrides it);
+// engine pool defaults to GOMAXPROCS (REPRO_WORKERS overrides it);
 // campaign results are bit-identical for any pool size, so the rendered
 // tables do not depend on the host's core count.
 func benchScale() experiments.Scale {
@@ -25,6 +26,12 @@ func benchScale() experiments.Scale {
 	}
 	s.Workers = experiments.WorkersFromEnv()
 	return s
+}
+
+// benchEngine builds the shared engine every benchmark drives its
+// campaigns through.
+func benchEngine(s experiments.Scale) (context.Context, *Engine) {
+	return context.Background(), experiments.NewEngine(s)
 }
 
 // BenchmarkTable1_HardwareCost regenerates Table 1: ASIC area/delay of the
@@ -42,8 +49,9 @@ func BenchmarkTable1_HardwareCost(b *testing.B) {
 // ET) statistics for the EEMBC-like suite under RM caches.
 func BenchmarkTable2_IIDTests(b *testing.B) {
 	s := benchScale()
+	ctx, eng := benchEngine(s)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Table2(s)
+		r, err := experiments.Table2(ctx, eng, s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -57,8 +65,9 @@ func BenchmarkTable2_IIDTests(b *testing.B) {
 // Figure 1 (CCDF in log scale with the 1e-15 cutoff).
 func BenchmarkFigure1_PWCETCurve(b *testing.B) {
 	s := benchScale()
+	ctx, eng := benchEngine(s)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Figure1(s)
+		r, err := experiments.Figure1(ctx, eng, s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,8 +81,9 @@ func BenchmarkFigure1_PWCETCurve(b *testing.B) {
 // to hRP across the EEMBC-like suite (paper: 25-62% tighter, avg 43%).
 func BenchmarkFigure4a_RMvsHRP(b *testing.B) {
 	s := benchScale()
+	ctx, eng := benchEngine(s)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Figure4a(s)
+		r, err := experiments.Figure4a(ctx, eng, s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -90,8 +100,9 @@ func BenchmarkFigure4a_RMvsHRP(b *testing.B) {
 // deterministic high-water mark (paper: within 7%).
 func BenchmarkFigure4b_RMvsDET(b *testing.B) {
 	s := benchScale()
+	ctx, eng := benchEngine(s)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Figure4b(s)
+		r, err := experiments.Figure4b(ctx, eng, s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,8 +117,9 @@ func BenchmarkFigure4b_RMvsDET(b *testing.B) {
 // hRP (RM compact, hRP heavy-tailed).
 func BenchmarkFigure5ab_SyntheticPDF(b *testing.B) {
 	s := benchScale()
+	ctx, eng := benchEngine(s)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Figure5(s, 20)
+		r, err := experiments.Figure5(ctx, eng, s, 20)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,9 +137,10 @@ func BenchmarkFigure5ab_SyntheticPDF(b *testing.B) {
 // partition), checking the pWCET ordering at each point.
 func BenchmarkFigure5c_SyntheticPWCET(b *testing.B) {
 	s := benchScale()
+	ctx, eng := benchEngine(s)
 	for i := 0; i < b.N; i++ {
 		for _, kb := range []int{8, 20, 160} {
-			r, err := experiments.Figure5(s, kb)
+			r, err := experiments.Figure5(ctx, eng, s, kb)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -153,8 +166,9 @@ func BenchmarkFigure5c_SyntheticPWCET(b *testing.B) {
 // average, max 8%).
 func BenchmarkSection44_AveragePerformance(b *testing.B) {
 	s := benchScale()
+	ctx, eng := benchEngine(s)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.AveragePerformance(s)
+		r, err := experiments.AveragePerformance(ctx, eng, s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -191,8 +205,9 @@ func BenchmarkSection31_CollisionAnalysis(b *testing.B) {
 // deterministic alternatives).
 func BenchmarkAblationReplacement(b *testing.B) {
 	s := benchScale()
+	ctx, eng := benchEngine(s)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.AblationReplacement(s, "tblook01")
+		r, err := experiments.AblationReplacement(ctx, eng, s, "tblook01")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -206,8 +221,9 @@ func BenchmarkAblationReplacement(b *testing.B) {
 // including the paper's caveated RM-at-L2 configuration.
 func BenchmarkAblationL2Policy(b *testing.B) {
 	s := benchScale()
+	ctx, eng := benchEngine(s)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.AblationL2Policy(s, "tblook01")
+		r, err := experiments.AblationL2Policy(ctx, eng, s, "tblook01")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -221,8 +237,9 @@ func BenchmarkAblationL2Policy(b *testing.B) {
 // rotation-only variant and hRP (layout diversity vs hardware cost).
 func BenchmarkAblationRMVariant(b *testing.B) {
 	s := benchScale()
+	ctx, eng := benchEngine(s)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.AblationRMVariant(s, "tblook01")
+		r, err := experiments.AblationRMVariant(ctx, eng, s, "tblook01")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -237,8 +254,9 @@ func BenchmarkAblationRMVariant(b *testing.B) {
 // partitions isolating storage (Section 2's multicore arrangement).
 func BenchmarkMulticoreContention(b *testing.B) {
 	s := benchScale()
+	ctx, eng := benchEngine(s)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Multicore(s, "canrdr01")
+		r, err := experiments.Multicore(ctx, eng, s, "canrdr01")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -255,8 +273,9 @@ func BenchmarkMulticoreContention(b *testing.B) {
 // the pWCET estimate as a function of campaign size (Section 2).
 func BenchmarkConvergenceProtocol(b *testing.B) {
 	s := benchScale()
+	ctx, eng := benchEngine(s)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.ConvergenceStudy(s, "tblook01")
+		r, err := experiments.ConvergenceStudy(ctx, eng, s, "tblook01")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -271,8 +290,9 @@ func BenchmarkConvergenceProtocol(b *testing.B) {
 // conservatism behind the Figure 4(b) margins.
 func BenchmarkAblationEstimator(b *testing.B) {
 	s := benchScale()
+	ctx, eng := benchEngine(s)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.AblationEstimator(s)
+		r, err := experiments.AblationEstimator(ctx, eng, s)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -7,36 +7,56 @@
 // Usage:
 //
 //	mbpta -in times.txt [-block 20] [-cutoff 1e-15]
+//	mbpta -workload tblook01 [-placement RM] [-runs 300] [-workers N] [-seed N]
 //
 // The input can come from rmsim -times, or from any external measurement
 // source; this tool is the software analogue of the analysis half of the
-// paper's toolchain.
+// paper's toolchain. With -workload instead of -in, mbpta collects the
+// measurements itself on the Engine (cancellable with Ctrl-C) before
+// analyzing them.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/evt"
 	"repro/internal/iid"
+	"repro/internal/placement"
+	"repro/internal/workload"
 )
 
 func main() {
-	in := flag.String("in", "", "input file: one execution time per line (required)")
+	in := flag.String("in", "", "input file: one execution time per line")
+	wname := flag.String("workload", "", "collect measurements from this workload instead of -in")
+	pname := flag.String("placement", "RM", "L1 placement for -workload campaigns (Modulo, XORFold, hRP, RM, RM-rot)")
+	runs := flag.Int("runs", 300, "campaign size for -workload")
+	workers := flag.Int("workers", 0, "engine pool size for -workload (0 = GOMAXPROCS)")
+	seed := flag.Uint64("seed", 0x9A9E6, "master seed for -workload")
 	block := flag.Int("block", 0, "block size for block maxima (0 = adapt to the sample size)")
 	cutoff := flag.Float64("cutoff", 1e-15, "per-run exceedance probability for the pWCET estimate")
 	flag.Parse()
 
-	if *in == "" {
+	if (*in == "") == (*wname == "") {
+		fmt.Fprintln(os.Stderr, "mbpta: exactly one of -in or -workload is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	times, err := readTimes(*in)
+	var times []float64
+	var err error
+	if *in != "" {
+		times, err = readTimes(*in)
+	} else {
+		times, err = measure(*wname, *pname, *runs, *workers, *seed)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -73,6 +93,30 @@ func main() {
 	for _, pt := range model.Curve(*cutoff) {
 		fmt.Printf("  1e%-4.0f %14.0f\n", math.Log10(pt.P), pt.X)
 	}
+}
+
+// measure collects a fresh measurement vector on the Engine instead of
+// reading one from disk.
+func measure(wname, pname string, runs, workers int, seed uint64) ([]float64, error) {
+	w, err := workload.ByName(wname)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := placement.ParseKind(pname)
+	if err != nil {
+		return nil, err
+	}
+	spec := core.PlatformFor(kind)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	eng := core.NewEngine(core.WithWorkers(workers))
+	res, err := eng.Run(ctx, core.Request{
+		Spec: spec, Workload: w, Runs: runs, MasterSeed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Times, nil
 }
 
 func readTimes(path string) ([]float64, error) {

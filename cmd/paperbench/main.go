@@ -13,38 +13,97 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|table1|table2|fig1|fig4a|fig4b|fig5|avgperf|collision|ablations] [-full] [-workers N] [-csv dir]
+//	paperbench [-exp all|table1|table2|fig1|fig4a|fig4b|fig5|avgperf|collision|ablations|multicore|convergence]
+//	           [-full|-short] [-workers N] [-timeout d] [-progress] [-csv dir]
 //
 // -full restores the paper's campaign sizes (1000 runs per benchmark);
-// the default scale regenerates everything in a few minutes. -workers
-// sets the campaign worker-pool size (default: GOMAXPROCS; results are
-// bit-identical for any value, see REPRO_WORKERS). Set -csv to also
-// write machine-readable series for plotting.
+// -short shrinks them to a smoke-test scale; the default regenerates
+// everything in a few minutes. All experiments run on one shared Engine
+// pool (-workers sets its size, default GOMAXPROCS; results are
+// bit-identical for any value, see REPRO_WORKERS). -timeout bounds the
+// whole regeneration via context cancellation, -progress forces the live
+// per-campaign progress line (default: only when stderr is a terminal),
+// and -csv writes machine-readable series for plotting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
+// experimentNames lists the valid -exp values in execution order; an
+// unknown name is a usage error, not a silent no-op.
+var experimentNames = []string{
+	"table1", "table2", "fig1", "fig4a", "fig4b", "fig5",
+	"avgperf", "collision", "ablations", "multicore", "convergence",
+}
+
+// validateExp checks an -exp value against the registry.
+func validateExp(name string) error {
+	if name == "all" {
+		return nil
+	}
+	for _, n := range experimentNames {
+		if n == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown experiment %q (valid: all, %s)", name, strings.Join(experimentNames, ", "))
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig1, fig4a, fig4b, fig5, avgperf, collision, ablations, multicore, convergence)")
+	exp := flag.String("exp", "all", "experiment to run (all, "+strings.Join(experimentNames, ", ")+")")
 	full := flag.Bool("full", false, "use the paper's campaign sizes (1000 runs)")
-	workers := flag.Int("workers", experiments.WorkersFromEnv(), "campaign worker-pool size (0 = GOMAXPROCS)")
+	short := flag.Bool("short", false, "smoke-test scale (smallest campaigns that clear the statistical floors)")
+	workers := flag.Int("workers", experiments.WorkersFromEnv(), "shared engine pool size (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the whole regeneration after this long (0 = no limit)")
+	progress := flag.Bool("progress", stderrIsTerminal(), "live per-campaign progress line on stderr")
 	csvDir := flag.String("csv", "", "directory for machine-readable CSV output (optional)")
 	flag.Parse()
+
+	if err := validateExp(*exp); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(2)
+	}
+	if *full && *short {
+		fmt.Fprintln(os.Stderr, "paperbench: -full and -short are mutually exclusive")
+		os.Exit(2)
+	}
 
 	scale := experiments.FromEnv()
 	if *full {
 		scale = experiments.FullScale()
 	}
+	if *short {
+		scale = experiments.SmokeScale()
+	}
 	scale.Workers = *workers
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var opts []core.EngineOption
+	var meter *progressMeter
+	if *progress {
+		meter = newProgressMeter(os.Stderr)
+		opts = append(opts, core.WithEvents(meter.observe))
+	}
+	eng := experiments.NewEngine(scale, opts...)
 
 	run := func(name string, f func() (string, error)) {
 		if *exp != "all" && *exp != name {
@@ -52,8 +111,14 @@ func main() {
 		}
 		start := time.Now()
 		out, err := f()
+		if meter != nil {
+			meter.clear()
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
+			if errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(os.Stderr, "paperbench: -timeout %v exceeded\n", *timeout)
+			}
 			os.Exit(1)
 		}
 		fmt.Println(out)
@@ -64,7 +129,7 @@ func main() {
 		return experiments.Table1().Render(), nil
 	})
 	run("table2", func() (string, error) {
-		r, err := experiments.Table2(scale)
+		r, err := experiments.Table2(ctx, eng, scale)
 		if err != nil {
 			return "", err
 		}
@@ -76,7 +141,7 @@ func main() {
 		return r.Render(), nil
 	})
 	run("fig1", func() (string, error) {
-		r, err := experiments.Figure1(scale)
+		r, err := experiments.Figure1(ctx, eng, scale)
 		if err != nil {
 			return "", err
 		}
@@ -93,7 +158,7 @@ func main() {
 		return r.Render(), nil
 	})
 	run("fig4a", func() (string, error) {
-		r, err := experiments.Figure4a(scale)
+		r, err := experiments.Figure4a(ctx, eng, scale)
 		if err != nil {
 			return "", err
 		}
@@ -112,7 +177,7 @@ func main() {
 		return r.Render(), nil
 	})
 	run("fig4b", func() (string, error) {
-		r, err := experiments.Figure4b(scale)
+		r, err := experiments.Figure4b(ctx, eng, scale)
 		if err != nil {
 			return "", err
 		}
@@ -121,7 +186,7 @@ func main() {
 	run("fig5", func() (string, error) {
 		var b strings.Builder
 		for _, kb := range []int{8, 20, 160} {
-			r, err := experiments.Figure5(scale, kb)
+			r, err := experiments.Figure5(ctx, eng, scale, kb)
 			if err != nil {
 				return "", err
 			}
@@ -144,7 +209,7 @@ func main() {
 		return b.String(), nil
 	})
 	run("avgperf", func() (string, error) {
-		r, err := experiments.AveragePerformance(scale)
+		r, err := experiments.AveragePerformance(ctx, eng, scale)
 		if err != nil {
 			return "", err
 		}
@@ -159,19 +224,19 @@ func main() {
 	})
 	run("ablations", func() (string, error) {
 		var b strings.Builder
-		for _, f := range []func(experiments.Scale, string) (experiments.AblationResult, error){
+		for _, f := range []func(context.Context, *core.Engine, experiments.Scale, string) (experiments.AblationResult, error){
 			experiments.AblationReplacement,
 			experiments.AblationL2Policy,
 			experiments.AblationRMVariant,
 		} {
-			r, err := f(scale, "tblook01")
+			r, err := f(ctx, eng, scale, "tblook01")
 			if err != nil {
 				return "", err
 			}
 			b.WriteString(r.Render())
 			b.WriteString("\n")
 		}
-		est, err := experiments.AblationEstimator(scale)
+		est, err := experiments.AblationEstimator(ctx, eng, scale)
 		if err != nil {
 			return "", err
 		}
@@ -179,19 +244,69 @@ func main() {
 		return b.String(), nil
 	})
 	run("multicore", func() (string, error) {
-		r, err := experiments.Multicore(scale, "canrdr01")
+		r, err := experiments.Multicore(ctx, eng, scale, "canrdr01")
 		if err != nil {
 			return "", err
 		}
 		return r.Render(), nil
 	})
 	run("convergence", func() (string, error) {
-		r, err := experiments.ConvergenceStudy(scale, "tblook01")
+		r, err := experiments.ConvergenceStudy(ctx, eng, scale, "tblook01")
 		if err != nil {
 			return "", err
 		}
 		return r.Render(), nil
 	})
+}
+
+// progressMeter renders a single overwritten status line from Engine
+// events: campaigns in flight, runs completed, and the most recently
+// progressed campaign. Event delivery is already serialized by the
+// Engine, so no locking is needed beyond what clear() shares.
+type progressMeter struct {
+	w        *os.File
+	active   int
+	runsDone int
+	last     time.Time
+	width    int
+}
+
+func newProgressMeter(w *os.File) *progressMeter { return &progressMeter{w: w} }
+
+func (m *progressMeter) observe(ev core.Event) {
+	switch ev.Kind {
+	case core.CampaignStarted:
+		m.active++
+	case core.CampaignFinished:
+		m.active--
+	case core.RunCompleted:
+		m.runsDone++
+		// Throttle terminal writes; the last event of a campaign always
+		// lands via CampaignFinished -> clear at the driver boundary.
+		if time.Since(m.last) < 100*time.Millisecond {
+			return
+		}
+		m.last = time.Now()
+		line := fmt.Sprintf("%s %d/%d runs | %d campaigns in flight | %d runs total",
+			ev.Campaign, ev.Done, ev.Total, m.active, m.runsDone)
+		if len(line) > m.width {
+			m.width = len(line)
+		}
+		fmt.Fprintf(m.w, "\r%-*s", m.width, line)
+	}
+}
+
+// clear erases the status line before normal output is printed.
+func (m *progressMeter) clear() {
+	if m.width > 0 {
+		fmt.Fprintf(m.w, "\r%-*s\r", m.width, "")
+		m.width = 0
+	}
+}
+
+func stderrIsTerminal() bool {
+	st, err := os.Stderr.Stat()
+	return err == nil && st.Mode()&os.ModeCharDevice != 0
 }
 
 func table2CSV(r experiments.Table2Result) [][]string {

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateExp(t *testing.T) {
+	if err := validateExp("all"); err != nil {
+		t.Errorf("all rejected: %v", err)
+	}
+	for _, name := range experimentNames {
+		if err := validateExp(name); err != nil {
+			t.Errorf("%s rejected: %v", name, err)
+		}
+	}
+	// Regression: an unknown -exp used to fall through every run() call
+	// and print nothing; it must be a usage error that lists the options.
+	err := validateExp("tabel2")
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	for _, want := range []string{"tabel2", "table2", "convergence", "all"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}

@@ -6,6 +6,9 @@
 //
 //	rmsim -workload tblook01 -placement RM -runs 1000 [-workers N] [-seed N] [-times out.txt]
 //
+// The campaign runs on the context-aware Engine: Ctrl-C cancels it
+// mid-campaign instead of waiting for the remaining runs.
+//
 // Placement selects the L1 policy (Modulo, XORFold, hRP, RM, RM-rot); the
 // L2 follows the paper's setup (hRP with random replacement) unless
 // -placement Modulo is chosen, which selects the fully deterministic
@@ -13,9 +16,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -46,18 +51,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	kind, err := parsePlacement(*pname)
+	kind, err := placement.ParseKind(*pname)
 	if err != nil {
 		fatal(err)
 	}
 
-	spec := core.PaperPlatform(kind)
-	if kind == placement.Modulo {
-		spec = core.DeterministicPlatform()
-	}
-	res, err := core.Campaign{
-		Spec: spec, Workload: w, Runs: *runs, MasterSeed: *seed, Workers: *workers,
-	}.Run()
+	spec := core.PlatformFor(kind)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	eng := core.NewEngine(core.WithWorkers(*workers))
+	res, err := eng.Run(ctx, core.Request{
+		Spec: spec, Workload: w, Runs: *runs, MasterSeed: *seed,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -95,23 +100,6 @@ func main() {
 }
 
 const experimentsSeed = 0x9A9E6
-
-func parsePlacement(s string) (placement.Kind, error) {
-	switch strings.ToLower(s) {
-	case "modulo":
-		return placement.Modulo, nil
-	case "xorfold", "xor":
-		return placement.XORFold, nil
-	case "hrp":
-		return placement.HRP, nil
-	case "rm":
-		return placement.RM, nil
-	case "rm-rot", "rmrot":
-		return placement.RMRot, nil
-	default:
-		return 0, fmt.Errorf("unknown placement %q", s)
-	}
-}
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "rmsim:", err)

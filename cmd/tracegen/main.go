@@ -4,15 +4,21 @@
 //
 // Usage:
 //
-//	tracegen -workload matrix01 [-limit 100] [-randomize-layout seed]
+//	tracegen -workload matrix01 [-limit 100] [-randomize-layout seed] [-cycles]
+//
+// -cycles additionally replays the trace once on the deterministic
+// modulo+LRU platform via the Engine and annotates the summary with its
+// cycle cost under exactly this layout.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/prng"
 	"repro/internal/workload"
 )
@@ -22,6 +28,7 @@ func main() {
 	limit := flag.Int("limit", 0, "print at most this many accesses (0 = all)")
 	randomize := flag.Uint64("randomize-layout", 0, "randomize the memory layout with this seed (0 = default layout)")
 	summary := flag.Bool("summary", false, "print only the trace summary")
+	cycles := flag.Bool("cycles", false, "annotate the summary with the trace's deterministic cycle cost")
 	flag.Parse()
 
 	w, err := workload.ByName(*wname)
@@ -37,6 +44,17 @@ func main() {
 	f, l, s := tr.Counts()
 	fmt.Fprintf(os.Stderr, "# %s: %d accesses (F=%d L=%d S=%d), %d lines of 32B footprint\n",
 		w.Name, len(tr), f, l, s, tr.Footprint(32))
+	if *cycles {
+		res, err := core.NewEngine(core.WithWorkers(1)).Run(context.Background(), core.Request{
+			Spec: core.DeterministicPlatform(), Workload: w, Runs: 1, Layout: &layout,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# deterministic modulo+LRU replay: %.0f cycles (%.2f cycles/access)\n",
+			res.Times[0], res.Times[0]/float64(len(tr)))
+	}
 	if *summary {
 		return
 	}

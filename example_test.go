@@ -1,6 +1,7 @@
 package randmod_test
 
 import (
+	"context"
 	"fmt"
 
 	randmod "repro"
@@ -58,4 +59,25 @@ func Example_placementComparison() {
 	fmt.Println("deterministic is constant:", det.Times[0] == det.Times[1] && det.Times[1] == det.Times[2])
 	// Output:
 	// deterministic is constant: true
+}
+
+// The Engine API: one shared worker pool running a batch of campaigns
+// with deterministic results; cancellation and progress events ride on
+// the same calls.
+func Example_engineBatch() {
+	eng := randmod.NewEngine(randmod.WithWorkers(4))
+	w := randmod.SyntheticWorkload(8*1024, 5, 4)
+	results, err := eng.RunBatch(context.Background(), []randmod.Request{
+		{Name: "rm", Spec: randmod.PaperPlatform(randmod.RM), Workload: w, Runs: 50, MasterSeed: 3},
+		{Name: "hrp", Spec: randmod.PaperPlatform(randmod.HRP), Workload: w, Runs: 50, MasterSeed: 3},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%s: %d runs\n", r.Name, len(r.Times))
+	}
+	// Output:
+	// rm: 50 runs
+	// hrp: 50 runs
 }

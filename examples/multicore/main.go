@@ -5,18 +5,27 @@
 // the MBPTA literature the paper builds on (Section 2: "MBPTA has been
 // evaluated on multicores comprising last-level caches and shared buses").
 //
-// The example runs one benchmark alone and then against three memory-
-// hungry co-runners, showing the contention slowdown that the partitioned
-// L2 bounds.
+// The example sweeps hardware seeds for one benchmark alone and against
+// three memory-hungry co-runners, showing the contention slowdown that
+// the partitioned L2 bounds. The sweep fans out over a worker pool with
+// randmod.ShardRunsContext -- the Engine-era primitive for custom
+// execution contexts (here a 4-core sim.System instead of a single
+// core) -- and Ctrl-C cancels it mid-sweep.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
+	"repro"
 	"repro/internal/cache"
 	"repro/internal/placement"
+	"repro/internal/prng"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -36,6 +45,7 @@ func platform() sim.Config {
 }
 
 func main() {
+	const seeds = 25
 	subject, err := workload.ByName("canrdr01")
 	if err != nil {
 		log.Fatal(err)
@@ -45,26 +55,38 @@ func main() {
 	subjectTrace := subject.Build(layout)
 	hogTrace := hog.Build(layout)
 
-	solo, err := sim.NewSystem(platform(), 4)
-	if err != nil {
-		log.Fatal(err)
-	}
-	solo.Reseed(1)
-	soloRes := solo.RunAll([]trace.Trace{subjectTrace, nil, nil, nil})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	contended, err := sim.NewSystem(platform(), 4)
-	if err != nil {
-		log.Fatal(err)
+	// sweep collects the subject's cycle count over seeds-many hardware
+	// seeds; each worker owns a private 4-core system, and every run
+	// derives its seed from the run index, so the vector is bit-identical
+	// for any pool size.
+	sweep := func(traces []trace.Trace) []float64 {
+		times := make([]float64, seeds)
+		err := randmod.ShardRunsContext(ctx, 0, seeds,
+			func() (*sim.System, error) { return sim.NewSystem(platform(), 4) },
+			func(sys *sim.System, run int) error {
+				sys.Reseed(prng.Derive(1, run))
+				times[run] = float64(sys.RunAll(traces)[0].Cycles)
+				return nil
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return times
 	}
-	contended.Reseed(1)
-	contRes := contended.RunAll([]trace.Trace{subjectTrace, hogTrace, hogTrace, hogTrace})
 
-	fmt.Printf("subject workload: %s (%d accesses)\n", subject.Name, len(subjectTrace))
+	solo := sweep([]trace.Trace{subjectTrace, nil, nil, nil})
+	contended := sweep([]trace.Trace{subjectTrace, hogTrace, hogTrace, hogTrace})
+
+	fmt.Printf("subject workload: %s (%d accesses), %d hardware seeds\n",
+		subject.Name, len(subjectTrace), seeds)
 	fmt.Printf("co-runners:       3x synthetic 160KB streamers\n\n")
-	fmt.Printf("solo      %10d cycles\n", soloRes[0].Cycles)
-	fmt.Printf("contended %10d cycles  (+%.1f%% from shared-bus interference)\n",
-		contRes[0].Cycles,
-		100*(float64(contRes[0].Cycles)/float64(soloRes[0].Cycles)-1))
+	fmt.Printf("solo      mean %10.0f  max %10.0f cycles\n", stats.Mean(solo), stats.Max(solo))
+	fmt.Printf("contended mean %10.0f  max %10.0f cycles  (+%.1f%% from shared-bus interference)\n",
+		stats.Mean(contended), stats.Max(contended),
+		100*(stats.Mean(contended)/stats.Mean(solo)-1))
 	fmt.Println("\nthe per-core L2 partition keeps cache *storage* free of interference;")
 	fmt.Println("only bus bandwidth is shared, which MBPTA accounts for probabilistically.")
 }

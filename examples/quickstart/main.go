@@ -1,11 +1,16 @@
 // Quickstart: the end-to-end MBPTA flow on a Random Modulo platform in a
-// few lines -- run a benchmark 300 times with a fresh hardware seed per
-// run, check the i.i.d. admissibility tests, and read off the pWCET.
+// few lines -- build an Engine, run a benchmark 300 times with a fresh
+// hardware seed per run, watch the campaign stream progress, check the
+// i.i.d. admissibility tests, and read off the pWCET. Ctrl-C cancels the
+// campaign mid-flight.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"repro"
 )
@@ -16,16 +21,29 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, an, err := randmod.RunAndAnalyze(randmod.Campaign{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	eng := randmod.NewEngine(
+		randmod.WithWorkers(0), // 0 = GOMAXPROCS; times are pool-size invariant
+		randmod.WithEvents(func(ev randmod.Event) {
+			if ev.Kind == randmod.RunCompleted && ev.Done%100 == 0 {
+				fmt.Printf("  %s: %d/%d runs\n", ev.Campaign, ev.Done, ev.Total)
+			}
+		}),
+	)
+
+	res, err := eng.Run(ctx, randmod.Request{
 		Spec:       randmod.PaperPlatform(randmod.RM),
 		Workload:   w,
 		Runs:       300,
 		MasterSeed: 1,
-		Workers:    0, // shard runs over GOMAXPROCS workers; times are worker-count invariant
+		Analyze:    true,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	an := res.Analysis
 
 	fmt.Printf("workload      %s\n", w.Name)
 	fmt.Printf("observed      mean %.0f cycles, high-water mark %.0f\n", res.Mean(), res.HWM())

@@ -9,7 +9,7 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -67,6 +67,17 @@ func DeterministicPlatform() PlatformSpec {
 	s := PaperPlatform(placement.Modulo)
 	s.IL1, s.DL1, s.L2 = det, det, det
 	return s
+}
+
+// PlatformFor maps a user-selected L1 placement to the platform the CLIs
+// evaluate: PaperPlatform(kind), except that Modulo selects the fully
+// deterministic modulo+LRU baseline (shared by rmsim and mbpta so the
+// deterministic-baseline convention lives in one place).
+func PlatformFor(kind placement.Kind) PlatformSpec {
+	if kind == placement.Modulo {
+		return DeterministicPlatform()
+	}
+	return PaperPlatform(kind)
 }
 
 // Build instantiates the platform.
@@ -130,43 +141,33 @@ func (r CampaignResult) HWM() float64 { return stats.Max(r.Times) }
 // Mean returns the campaign's mean execution time.
 func (r CampaignResult) Mean() float64 { return stats.Mean(r.Times) }
 
+// Request converts the campaign into an Engine Request, the migration
+// path from the legacy blocking API: eng.Run(ctx, c.Request()).
+func (c Campaign) Request() Request {
+	return Request{
+		Spec:       c.Spec,
+		Workload:   c.Workload,
+		Runs:       c.Runs,
+		MasterSeed: c.MasterSeed,
+		Layout:     c.Layout,
+	}
+}
+
 // Run executes the campaign: per run, a fresh seed is derived, all cache
 // levels reseed and flush (the paper's run-to-completion protocol), and
 // the program's trace is replayed. Runs are sharded across Workers
 // platform instances; the trace is built once and shared read-only.
+//
+// Deprecated: Run blocks with no cancellation, progress or pool sharing;
+// it is a thin request to a private single-campaign Runner. Use
+// Engine.Run(ctx, c.Request()) instead.
 func (c Campaign) Run() (CampaignResult, error) {
-	if c.Runs < 1 {
-		return CampaignResult{}, errors.New("core: campaign needs at least one run")
-	}
-	if c.Workload.Build == nil {
-		return CampaignResult{}, errors.New("core: campaign needs a workload")
-	}
-	layout := workload.DefaultLayout()
-	if c.Layout != nil {
-		layout = *c.Layout
-	}
-	tr := c.Workload.Build(layout)
-	if len(tr) == 0 {
-		return CampaignResult{}, fmt.Errorf("core: workload %s built an empty trace", c.Workload.Name)
-	}
-	res := CampaignResult{Times: make([]float64, c.Runs)}
-	f, l, st := tr.Counts()
-	res.Trace.Accesses = len(tr)
-	res.Trace.Fetches, res.Trace.Loads, res.Trace.Stores = f, l, st
-
-	totals, err := runShards(c.Spec, c.Runs, c.Workers, res.Times,
-		func(p *sim.Core, run int) (sim.Result, error) {
-			p.Reseed(prng.Derive(c.MasterSeed, run))
-			return p.Run(tr), nil
-		})
+	r := Runner{Pool: NewPool(c.Workers)}
+	res, err := r.Run(context.Background(), c.Request())
 	if err != nil {
 		return CampaignResult{}, err
 	}
-	res.Levels = totals
-	res.IL1Miss = totals.IL1.MissRatio()
-	res.DL1Miss = totals.DL1.MissRatio()
-	res.L2Miss = totals.L2.MissRatio()
-	return res, nil
+	return res.CampaignResult, nil
 }
 
 // HWMCampaign is the deterministic industrial-practice baseline: the same
@@ -179,6 +180,14 @@ type HWMCampaign struct {
 	Workload   workload.Workload
 	Runs       int
 	MasterSeed uint64
+	// Layout optionally overrides the base layout the per-run
+	// randomization perturbs (nil keeps the legacy behaviour: absolute
+	// displacements over the default layout). Determinism contract: run
+	// k's layout is a pure function of (MasterSeed, k, *Layout) --
+	// workload.RandomizedLayoutFrom(*Layout, prng derived from
+	// (MasterSeed^hwmSeedTag, k)) -- so Times is bit-identical for any
+	// worker count, any batch interleaving, and any host.
+	Layout *workload.Layout
 	// Workers shards the layout runs across a pool of simulation workers
 	// (zero or negative selects runtime.GOMAXPROCS(0)). Each run draws
 	// its layout from a PRNG stream derived from the run index, so Times
@@ -197,38 +206,33 @@ type HWMResult struct {
 // randomized campaign's hardware-seed streams under the same master seed.
 const hwmSeedTag = 0xDE7
 
+// Request converts the baseline campaign into an Engine Request.
+func (c HWMCampaign) Request() Request {
+	return Request{
+		Spec:       c.Spec,
+		Workload:   c.Workload,
+		Runs:       c.Runs,
+		MasterSeed: c.MasterSeed,
+		Layout:     c.Layout,
+		Baseline:   true,
+	}
+}
+
 // Run executes the baseline campaign: each run rebuilds the trace under a
 // freshly randomized layout and starts from cold caches. The layout of
 // run k is drawn from a PRNG stream derived from (MasterSeed, k) alone --
 // runs are independent, so they shard across Workers platform instances
 // with bit-identical results for any worker count.
+//
+// Deprecated: Run blocks with no cancellation, progress or pool sharing.
+// Use Engine.Run(ctx, c.Request()) instead.
 func (c HWMCampaign) Run() (HWMResult, error) {
-	if c.Runs < 1 {
-		return HWMResult{}, errors.New("core: campaign needs at least one run")
-	}
-	if c.Workload.Build == nil {
-		return HWMResult{}, errors.New("core: campaign needs a workload")
-	}
-	times := make([]float64, c.Runs)
-	_, err := runShards(c.Spec, c.Runs, c.Workers, times,
-		func(p *sim.Core, run int) (sim.Result, error) {
-			seed := prng.Derive(c.MasterSeed^hwmSeedTag, run)
-			layout := workload.RandomizedLayout(prng.New(seed))
-			tr := c.Workload.Build(layout)
-			if len(tr) == 0 {
-				return sim.Result{}, fmt.Errorf("core: workload %s built an empty trace for run %d", c.Workload.Name, run)
-			}
-			// Reseed rather than Flush: deterministic policies ignore the
-			// seed (so the typical modulo+LRU baseline is unchanged), while
-			// any randomized policy in Spec becomes a pure function of the
-			// run index instead of carrying PRNG state across runs.
-			p.Reseed(seed)
-			return p.Run(tr), nil
-		})
+	r := Runner{Pool: NewPool(c.Workers)}
+	res, err := r.Run(context.Background(), c.Request())
 	if err != nil {
 		return HWMResult{}, err
 	}
-	return HWMResult{Times: times, HWM: stats.Max(times), Mean: stats.Mean(times)}, nil
+	return HWMResult{Times: res.Times, HWM: stats.Max(res.Times), Mean: stats.Mean(res.Times)}, nil
 }
 
 // Analysis is the MBPTA pipeline output for one campaign.
@@ -301,11 +305,16 @@ func ditherTies(xs []float64) []float64 {
 
 // RunAndAnalyze is the end-to-end MBPTA flow of Figure 1: run the
 // campaign, check admissibility, fit, and report.
+//
+// Deprecated: it blocks with no cancellation, progress or pool sharing.
+// Set Request.Analyze and use Engine.Run instead.
 func RunAndAnalyze(c Campaign) (CampaignResult, Analysis, error) {
-	res, err := c.Run()
-	if err != nil {
-		return res, Analysis{}, err
+	req := c.Request()
+	req.Analyze = true
+	r := Runner{Pool: NewPool(c.Workers)}
+	res, err := r.Run(context.Background(), req)
+	if err != nil || res.Analysis == nil {
+		return res.CampaignResult, Analysis{}, err
 	}
-	an, err := Analyze(res.Times)
-	return res, an, err
+	return res.CampaignResult, *res.Analysis, nil
 }

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/prng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Request describes one measurement campaign for a Runner or Engine: one
+// program, many runs, all randomness derived from MasterSeed and the run
+// index. A Request carries no execution knobs -- the worker pool belongs
+// to the Engine, so dozens of Requests can share it.
+type Request struct {
+	// Name labels the campaign in Events. Empty defaults to the workload
+	// name, suffixed "/hwm" for baseline requests.
+	Name       string
+	Spec       PlatformSpec
+	Workload   workload.Workload
+	Runs       int
+	MasterSeed uint64
+	// Layout optionally overrides the base memory layout. MBPTA campaigns
+	// build their single shared trace from it; Baseline campaigns perturb
+	// it per run (see HWMCampaign's determinism contract).
+	Layout *workload.Layout
+	// Baseline selects the industrial high-water-mark protocol instead of
+	// the MBPTA one: each run rebuilds the trace under a freshly
+	// randomized memory layout (typically on a deterministic platform)
+	// rather than drawing a fresh hardware seed over a fixed layout.
+	Baseline bool
+	// Analyze additionally applies the MBPTA statistical pipeline to the
+	// collected times and stores it in Result.Analysis.
+	Analyze bool
+}
+
+// name resolves the event label of the request.
+func (r Request) name() string {
+	if r.Name != "" {
+		return r.Name
+	}
+	n := r.Workload.Name
+	if r.Baseline {
+		n += "/hwm"
+	}
+	return n
+}
+
+// Result is the outcome of one Request. It embeds the classic
+// CampaignResult: MBPTA requests fill all of it; Baseline requests fill
+// Times and the per-level counters (which the legacy HWMResult
+// discarded) but leave the Trace accounting zero, since the trace is
+// rebuilt per run rather than shared. When the campaign was cancelled
+// mid-flight, Times holds the completed runs at their indices and zeros
+// elsewhere, alongside the returned error.
+type Result struct {
+	Name string
+	CampaignResult
+	// Analysis is set when Request.Analyze was true and the campaign
+	// completed.
+	Analysis *Analysis
+}
+
+// EventKind discriminates Engine progress events.
+type EventKind int
+
+const (
+	// CampaignStarted fires once per request, before its first run.
+	CampaignStarted EventKind = iota
+	// RunCompleted fires after every simulated run.
+	RunCompleted
+	// CampaignFinished fires once per request, after its last run, the
+	// optional analysis, or a failure (Err non-nil).
+	CampaignFinished
+)
+
+// String names the kind for logs.
+func (k EventKind) String() string {
+	switch k {
+	case CampaignStarted:
+		return "started"
+	case RunCompleted:
+		return "run"
+	case CampaignFinished:
+		return "finished"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one progress notification. Deliveries are serialized (the sink
+// never runs concurrently with itself), so sinks need no locking of their
+// own. The sink is called synchronously on the worker path while internal
+// locks are held: it must return quickly, must not block (send to a
+// buffered channel or drop, never an unbuffered rendezvous), and must not
+// call back into the Engine or Runner that delivered the event.
+type Event struct {
+	Kind     EventKind
+	Campaign string // Request.Name (or its default)
+	Index    int    // position of the request in its batch (0 for Run)
+	Run      int    // completed run index (RunCompleted only)
+	Cycles   float64
+	Done     int   // completed runs so far, campaign-local
+	Total    int   // Request.Runs
+	Err      error // CampaignFinished only; nil on success
+}
+
+// Runner executes campaign Requests over a shared Pool of simulation
+// workers. It is the core execution primitive of the library:
+// Campaign.Run, HWMCampaign.Run and RunAndAnalyze are thin deprecated
+// requests to a private Runner, and Engine layers options, defaults and
+// batch orchestration on top of one.
+//
+// The zero value is ready to use (it allocates a private GOMAXPROCS pool
+// on first run). A Runner is safe for concurrent use.
+type Runner struct {
+	// Pool is the shared worker allotment; nil selects a private
+	// GOMAXPROCS-sized pool on first use.
+	Pool *Pool
+	// Events receives progress notifications; nil disables them. See
+	// Event for the sink contract (fast, non-blocking, no re-entry).
+	Events func(Event)
+
+	mu   sync.Mutex // guards lazy Pool init
+	evmu sync.Mutex // serializes Events deliveries
+}
+
+func (r *Runner) pool() *Pool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.Pool == nil {
+		r.Pool = NewPool(0)
+	}
+	return r.Pool
+}
+
+func (r *Runner) emit(ev Event) {
+	if r.Events == nil {
+		return
+	}
+	r.evmu.Lock()
+	defer r.evmu.Unlock()
+	r.Events(ev)
+}
+
+// Run executes one Request to completion (or cancellation). Results are a
+// pure function of the Request: they are bit-identical for any pool size
+// and regardless of what else runs on the pool concurrently.
+func (r *Runner) Run(ctx context.Context, req Request) (Result, error) {
+	return r.run(ctx, 0, req)
+}
+
+// run executes req as batch member index. On cancellation the returned
+// error wraps ctx.Err() (so errors.Is(err, context.Canceled) holds) and
+// the Result carries the partial measurement vector.
+func (r *Runner) run(ctx context.Context, index int, req Request) (Result, error) {
+	res := Result{Name: req.name()}
+	var done atomic.Int64
+	// Every submitted request emits exactly one CampaignStarted and one
+	// CampaignFinished (Err set on failure), so stream consumers can
+	// count completions without special-casing validation errors.
+	r.emit(Event{Kind: CampaignStarted, Campaign: res.Name, Index: index, Total: req.Runs})
+	finish := func(err error) (Result, error) {
+		r.emit(Event{Kind: CampaignFinished, Campaign: res.Name, Index: index,
+			Done: int(done.Load()), Total: req.Runs, Err: err})
+		return res, err
+	}
+	if req.Runs < 1 {
+		return finish(errors.New("core: campaign needs at least one run"))
+	}
+	if req.Workload.Build == nil {
+		return finish(errors.New("core: campaign needs a workload"))
+	}
+
+	var do func(p *sim.Core, run int) (sim.Result, error)
+	if req.Baseline {
+		do = func(p *sim.Core, run int) (sim.Result, error) {
+			seed := prng.Derive(req.MasterSeed^hwmSeedTag, run)
+			g := prng.New(seed)
+			var layout workload.Layout
+			if req.Layout != nil {
+				layout = workload.RandomizedLayoutFrom(*req.Layout, g)
+			} else {
+				layout = workload.RandomizedLayout(g)
+			}
+			tr := req.Workload.Build(layout)
+			if len(tr) == 0 {
+				return sim.Result{}, fmt.Errorf("core: workload %s built an empty trace for run %d", req.Workload.Name, run)
+			}
+			// Reseed rather than Flush: deterministic policies ignore the
+			// seed (so the typical modulo+LRU baseline is unchanged), while
+			// any randomized policy in Spec becomes a pure function of the
+			// run index instead of carrying PRNG state across runs.
+			p.Reseed(seed)
+			return p.Run(tr), nil
+		}
+	} else {
+		layout := workload.DefaultLayout()
+		if req.Layout != nil {
+			layout = *req.Layout
+		}
+		// The one-time trace build runs under a pool slot too: a large
+		// RunBatch spawns one goroutine per request, and without the gate
+		// they would all build concurrently regardless of the pool size.
+		if err := r.pool().acquire(ctx); err != nil {
+			return finish(fmt.Errorf("core: campaign %s aborted before any runs: %w", res.Name, err))
+		}
+		tr := req.Workload.Build(layout)
+		r.pool().release()
+		if len(tr) == 0 {
+			return finish(fmt.Errorf("core: workload %s built an empty trace", req.Workload.Name))
+		}
+		f, l, st := tr.Counts()
+		res.Trace.Accesses = len(tr)
+		res.Trace.Fetches, res.Trace.Loads, res.Trace.Stores = f, l, st
+		do = func(p *sim.Core, run int) (sim.Result, error) {
+			p.Reseed(prng.Derive(req.MasterSeed, run))
+			return p.Run(tr), nil
+		}
+	}
+
+	times := make([]float64, req.Runs)
+	onRun := func(run int, sr sim.Result) {
+		// The increment and the delivery share the mutex so the Done
+		// counter in the event stream is strictly monotone.
+		if r.Events == nil {
+			done.Add(1)
+			return
+		}
+		r.evmu.Lock()
+		n := int(done.Add(1))
+		r.Events(Event{
+			Kind: RunCompleted, Campaign: res.Name, Index: index,
+			Run: run, Cycles: float64(sr.Cycles), Done: n, Total: req.Runs,
+		})
+		r.evmu.Unlock()
+	}
+
+	totals, err := runShards(ctx, r.pool(), req.Spec, req.Runs, times, do, onRun)
+	res.Times = times
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("core: campaign %s aborted after %d/%d runs: %w",
+				res.Name, done.Load(), req.Runs, err)
+		}
+		return finish(err)
+	}
+	res.Levels = totals
+	res.IL1Miss = totals.IL1.MissRatio()
+	res.DL1Miss = totals.DL1.MissRatio()
+	res.L2Miss = totals.L2.MissRatio()
+
+	if req.Analyze {
+		an, err := Analyze(res.Times)
+		if err != nil {
+			return finish(err)
+		}
+		res.Analysis = &an
+	}
+	return finish(nil)
+}
+
+// Engine is the context-aware front door of the library: one shared
+// simulation worker pool serving any number of campaigns, with optional
+// progress events and batch orchestration. Construct it once per process
+// (or per experiment suite) and submit Requests to it; parallelism is
+// purely a wall-clock knob, never a results knob.
+type Engine struct {
+	runner      Runner
+	defaultRuns int
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*Engine)
+
+// WithWorkers sizes the shared simulation pool (non-positive selects
+// runtime.GOMAXPROCS(0)).
+func WithWorkers(n int) EngineOption {
+	return func(e *Engine) { e.runner.Pool = NewPool(n) }
+}
+
+// WithPool shares an existing pool with another Engine or with custom
+// ShardRunsPool sweeps.
+func WithPool(p *Pool) EngineOption {
+	return func(e *Engine) { e.runner.Pool = p }
+}
+
+// WithEvents installs a progress sink. Deliveries are serialized, so the
+// sink needs no locking; see Event for the rest of the contract (fast,
+// non-blocking, no re-entry). A channel-backed sink over a generously
+// buffered channel is one line: WithEvents(func(ev Event) { ch <- ev }).
+func WithEvents(sink func(Event)) EngineOption {
+	return func(e *Engine) { e.runner.Events = sink }
+}
+
+// WithDefaultRuns sets the campaign scale applied to Requests that leave
+// Runs at zero, so experiment suites configure size once on the Engine.
+func WithDefaultRuns(n int) EngineOption {
+	return func(e *Engine) { e.defaultRuns = n }
+}
+
+// NewEngine builds an Engine; with no options it uses a GOMAXPROCS-sized
+// pool, no events, and no default scale.
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.runner.Pool == nil {
+		e.runner.Pool = NewPool(0)
+	}
+	return e
+}
+
+// Workers reports the shared pool size.
+func (e *Engine) Workers() int { return e.runner.pool().Workers() }
+
+// Pool exposes the shared pool for custom sweeps (ShardRunsPool) that
+// should contend with the Engine's campaigns instead of oversubscribing
+// the host.
+func (e *Engine) Pool() *Pool { return e.runner.pool() }
+
+func (e *Engine) prepared(req Request) Request {
+	if req.Runs == 0 && e.defaultRuns > 0 {
+		req.Runs = e.defaultRuns
+	}
+	return req
+}
+
+// Run executes one campaign over the shared pool. Cancelling ctx aborts
+// it mid-campaign: the returned error wraps ctx.Err() and the Result
+// holds the partial measurement vector.
+func (e *Engine) Run(ctx context.Context, req Request) (Result, error) {
+	return e.runner.run(ctx, 0, e.prepared(req))
+}
+
+// RunBatch schedules many campaigns over the shared pool at once and
+// waits for all of them. Per-campaign results are bit-identical to
+// running each Request alone (randomness derives from each campaign's
+// MasterSeed and run indices, never from scheduling), so a batch is the
+// preferred way to drive an experiment suite: one pool, full machine
+// utilization, deterministic output.
+//
+// All requests run even if some fail; the returned error is the
+// lowest-indexed failure (use the per-Result contents for the rest).
+// Cancelling ctx aborts every member with a wrapped ctx.Err().
+func (e *Engine) RunBatch(ctx context.Context, reqs []Request) ([]Result, error) {
+	results := make([]Result, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			results[i], errs[i] = e.runner.run(ctx, i, req)
+		}(i, e.prepared(req))
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

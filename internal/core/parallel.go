@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -47,6 +48,41 @@ func normWorkers(workers, runs int) int {
 	return workers
 }
 
+// Pool is a shared allotment of simulation worker slots. Any number of
+// campaigns (and custom ShardRunsPool sweeps) can execute over one Pool
+// concurrently; the Pool caps how many simulation goroutines run at once
+// without influencing any campaign's results.
+type Pool struct {
+	slots chan struct{}
+}
+
+// NewPool returns a pool of the given size; non-positive selects
+// runtime.GOMAXPROCS(0).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{slots: make(chan struct{}, workers)}
+}
+
+// Workers reports the pool capacity.
+func (p *Pool) Workers() int { return cap(p.slots) }
+
+// acquire blocks until a slot is free or the context is done.
+func (p *Pool) acquire(ctx context.Context) error {
+	select {
+	case p.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p *Pool) release() { <-p.slots }
+
 // ShardRuns executes runs [0, runs) across a pool of workers. Each worker
 // calls build once to obtain its private execution context (simulators are
 // not safe for concurrent use) and then processes a contiguous block of
@@ -57,23 +93,33 @@ func normWorkers(workers, runs int) int {
 // returned. Exposed for drivers whose execution context is not a single
 // sim.Core (e.g. the multicore contention study's sim.System).
 func ShardRuns[T any](workers, runs int, build func() (T, error), do func(ctx T, run int) error) error {
-	workers = normWorkers(workers, runs)
-	if workers == 1 {
-		ctx, err := build()
-		if err != nil {
-			return err
-		}
-		for run := 0; run < runs; run++ {
-			if err := do(ctx, run); err != nil {
-				return err
-			}
-		}
+	return ShardRunsContext(context.Background(), workers, runs, build, do)
+}
+
+// ShardRunsContext is the context-aware ShardRuns: cancelling ctx aborts
+// the sweep between runs (and while waiting for pool slots) and returns
+// ctx.Err(). Runs that completed before the cancellation have written
+// their run-indexed outputs; the rest are untouched.
+func ShardRunsContext[T any](ctx context.Context, workers, runs int, build func() (T, error), do func(ctx T, run int) error) error {
+	return ShardRunsPool(ctx, NewPool(workers), runs, build, do)
+}
+
+// ShardRunsPool runs the sweep over a caller-supplied (possibly shared)
+// Pool, with the same determinism and cancellation contract as
+// ShardRunsContext: results depend only on run indices, never on the pool
+// size or on what else is executing over the pool.
+func ShardRunsPool[T any](ctx context.Context, pool *Pool, runs int, build func() (T, error), do func(ctx T, run int) error) error {
+	if runs <= 0 {
 		return nil
 	}
-	errs := make([]error, workers)
-	chunk := (runs + workers - 1) / workers
+	if pool == nil {
+		pool = NewPool(0)
+	}
+	shards := normWorkers(pool.Workers(), runs)
+	chunk := (runs + shards - 1) / shards
+	errs := make([]error, shards)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < shards; w++ {
 		lo := w * chunk
 		hi := min(lo+chunk, runs)
 		if lo >= hi {
@@ -82,13 +128,22 @@ func ShardRuns[T any](workers, runs int, build func() (T, error), do func(ctx T,
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			ctx, err := build()
+			if err := pool.acquire(ctx); err != nil {
+				errs[w] = err
+				return
+			}
+			defer pool.release()
+			ctxT, err := build()
 			if err != nil {
 				errs[w] = err
 				return
 			}
 			for run := lo; run < hi; run++ {
-				if err := do(ctx, run); err != nil {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
+				if err := do(ctxT, run); err != nil {
 					errs[w] = err
 					return
 				}
@@ -104,15 +159,16 @@ func ShardRuns[T any](workers, runs int, build func() (T, error), do func(ctx T,
 	return nil
 }
 
-// runShards shards a single-core campaign: each worker builds its own
-// platform from spec, do performs one run on it, per-run cycle counts land
-// in times[run], and the per-level counters are summed into the returned
-// LevelStats (integer sums are order-independent, so the aggregate is as
-// schedule-proof as the measurement vector).
-func runShards(spec PlatformSpec, runs, workers int, times []float64, do func(p *sim.Core, run int) (sim.Result, error)) (LevelStats, error) {
+// runShards shards a single-core campaign over a Pool: each shard builds
+// its own platform from spec, do performs one run on it, per-run cycle
+// counts land in times[run], and the per-level counters are summed into
+// the returned LevelStats (integer sums are order-independent, so the
+// aggregate is as schedule-proof as the measurement vector). onRun, if
+// non-nil, observes every completed run (called from worker goroutines).
+func runShards(ctx context.Context, pool *Pool, spec PlatformSpec, runs int, times []float64, do func(p *sim.Core, run int) (sim.Result, error), onRun func(run int, r sim.Result)) (LevelStats, error) {
 	var mu sync.Mutex
 	var agg LevelStats
-	err := ShardRuns(workers, runs, spec.Build, func(p *sim.Core, run int) error {
+	err := ShardRunsPool(ctx, pool, runs, spec.Build, func(p *sim.Core, run int) error {
 		r, err := do(p, run)
 		if err != nil {
 			return err
@@ -121,6 +177,9 @@ func runShards(spec PlatformSpec, runs, workers int, times []float64, do func(p 
 		mu.Lock()
 		agg.add(r)
 		mu.Unlock()
+		if onRun != nil {
+			onRun(run, r)
+		}
 		return nil
 	})
 	if err != nil {

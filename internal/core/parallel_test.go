@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/placement"
@@ -179,5 +182,67 @@ func TestWorkerPoolUnderRace(t *testing.T) {
 		if x <= 0 {
 			t.Fatalf("Times[%d] = %v: a shard left its slot unwritten", i, x)
 		}
+	}
+}
+
+func TestShardRunsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int64
+	err := ShardRunsContext(ctx, 2, 10000,
+		func() (int, error) { return 0, nil },
+		func(_ int, run int) error {
+			if done.Add(1) == 5 {
+				cancel()
+			}
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := done.Load(); n >= 10000 {
+		t.Fatalf("sweep ran to completion (%d runs) despite cancellation", n)
+	}
+}
+
+func TestShardRunsPoolShared(t *testing.T) {
+	// Two sweeps over one 2-slot pool: concurrency never exceeds the
+	// pool capacity, and both sweeps fill every run-indexed slot. A run
+	// executes only while its shard holds a slot, so counting in-flight
+	// do calls bounds the observed concurrency by the capacity.
+	pool := NewPool(2)
+	var inFlight, peak atomic.Int64
+	sweep := func(out []int32) error {
+		return ShardRunsPool(context.Background(), pool, len(out),
+			func() (int, error) { return 0, nil },
+			func(_ int, run int) error {
+				n := inFlight.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				out[run] = int32(run + 1)
+				inFlight.Add(-1)
+				return nil
+			})
+	}
+	a := make([]int32, 64)
+	b := make([]int32, 64)
+	errc := make(chan error, 2)
+	go func() { errc <- sweep(a) }()
+	go func() { errc <- sweep(b) }()
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range a {
+		if a[i] == 0 || b[i] == 0 {
+			t.Fatalf("slot %d left unwritten (a=%d b=%d)", i, a[i], b[i])
+		}
+	}
+	if peak.Load() > 2 {
+		t.Fatalf("pool admitted %d concurrent runs, capacity 2", peak.Load())
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -127,22 +128,23 @@ func (r AblationResult) Render() string {
 	return b.String()
 }
 
-func ablationPoint(design string, spec core.PlatformSpec, w workload.Workload, runs, workers int) (AblationRow, error) {
-	res, an, err := core.RunAndAnalyze(core.Campaign{
-		Spec: spec, Workload: w, Runs: runs, MasterSeed: MasterSeed, Workers: workers,
+func ablationPoint(ctx context.Context, eng *core.Engine, design string, spec core.PlatformSpec, w workload.Workload, runs int) (AblationRow, error) {
+	res, err := eng.Run(ctx, core.Request{
+		Name: "ablation/" + design,
+		Spec: spec, Workload: w, Runs: runs, MasterSeed: MasterSeed, Analyze: true,
 	})
 	if err != nil {
 		return AblationRow{}, fmt.Errorf("ablation %s: %w", design, err)
 	}
 	return AblationRow{
 		Design: design, Mean: res.Mean(), HWM: res.HWM(),
-		PWCET15: an.PWCET15, IIDPass: an.IIDPass,
+		PWCET15: res.Analysis.PWCET15, IIDPass: res.Analysis.IIDPass,
 	}, nil
 }
 
 // AblationReplacement quantifies the cost of MBPTA-required random
 // replacement against LRU under RM placement (DESIGN.md, Section 7).
-func AblationReplacement(s Scale, benchName string) (AblationResult, error) {
+func AblationReplacement(ctx context.Context, eng *core.Engine, s Scale, benchName string) (AblationResult, error) {
 	w, err := workload.ByName(benchName)
 	if err != nil {
 		return AblationResult{}, err
@@ -152,7 +154,7 @@ func AblationReplacement(s Scale, benchName string) (AblationResult, error) {
 		spec := core.PaperPlatform(placement.RM)
 		spec.IL1.Replacement = repl
 		spec.DL1.Replacement = repl
-		row, err := ablationPoint(fmt.Sprintf("RM + %v L1 replacement", repl), spec, w, s.Runs/2, s.Workers)
+		row, err := ablationPoint(ctx, eng, fmt.Sprintf("RM + %v L1 replacement", repl), spec, w, s.Runs/2)
 		if err != nil {
 			return res, err
 		}
@@ -165,7 +167,7 @@ func AblationReplacement(s Scale, benchName string) (AblationResult, error) {
 // including the paper's caveated RM-at-L2 option (Section 3.2
 // "Applicability": RM at L2 requires page-alignment guarantees from the
 // RTOS; hRP is the safe default).
-func AblationL2Policy(s Scale, benchName string) (AblationResult, error) {
+func AblationL2Policy(ctx context.Context, eng *core.Engine, s Scale, benchName string) (AblationResult, error) {
 	w, err := workload.ByName(benchName)
 	if err != nil {
 		return AblationResult{}, err
@@ -177,7 +179,7 @@ func AblationL2Policy(s Scale, benchName string) (AblationResult, error) {
 		if l2 == placement.Modulo || l2 == placement.XORFold {
 			spec.L2.Replacement = cache.LRU
 		}
-		row, err := ablationPoint(fmt.Sprintf("RM L1 + %v L2", l2), spec, w, s.Runs/2, s.Workers)
+		row, err := ablationPoint(ctx, eng, fmt.Sprintf("RM L1 + %v L2", l2), spec, w, s.Runs/2)
 		if err != nil {
 			return res, err
 		}
@@ -207,13 +209,14 @@ type EstimatorResult struct {
 
 // AblationEstimator runs RM campaigns over the EEMBC-like suite and
 // compares Gumbel vs GEV pWCET estimates at 1e-15.
-func AblationEstimator(s Scale) (EstimatorResult, error) {
+func AblationEstimator(ctx context.Context, eng *core.Engine, s Scale) (EstimatorResult, error) {
 	var res EstimatorResult
 	for _, w := range workload.EEMBC() {
-		c, err := core.Campaign{
+		c, err := eng.Run(ctx, core.Request{
+			Name: "estimator/" + w.Name,
 			Spec: core.PaperPlatform(placement.RM), Workload: w,
-			Runs: s.Runs, MasterSeed: MasterSeed, Workers: s.Workers,
-		}.Run()
+			Runs: s.Runs, MasterSeed: MasterSeed,
+		})
 		if err != nil {
 			return res, err
 		}
@@ -263,14 +266,14 @@ func (r EstimatorResult) Render() string {
 // AblationRMVariant compares full Benes-permutation RM against the
 // rotation-only variant and hRP on one benchmark: layout diversity versus
 // hardware cost (DESIGN.md, Section 7).
-func AblationRMVariant(s Scale, benchName string) (AblationResult, error) {
+func AblationRMVariant(ctx context.Context, eng *core.Engine, s Scale, benchName string) (AblationResult, error) {
 	w, err := workload.ByName(benchName)
 	if err != nil {
 		return AblationResult{}, err
 	}
 	res := AblationResult{Workload: benchName}
 	for _, l1 := range []placement.Kind{placement.RM, placement.RMRot, placement.HRP} {
-		row, err := ablationPoint(fmt.Sprintf("%v L1 placement", l1), core.PaperPlatform(l1), w, s.Runs/2, s.Workers)
+		row, err := ablationPoint(ctx, eng, fmt.Sprintf("%v L1 placement", l1), core.PaperPlatform(l1), w, s.Runs/2)
 		if err != nil {
 			return res, err
 		}

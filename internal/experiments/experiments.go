@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -25,10 +26,10 @@ type Scale struct {
 	HWMLayouts  int // layouts for the deterministic hwm baseline
 	SynthRuns   int // runs for the synthetic-kernel campaigns
 	Synth160Run int // runs for the 160KB synthetic kernel (costliest)
-	// Workers is the campaign worker-pool size threaded into every
-	// core.Campaign and core.HWMCampaign the drivers launch. Zero (the
+	// Workers sizes the shared engine pool built by NewEngine. Zero (the
 	// default) selects runtime.GOMAXPROCS(0); results are bit-identical
-	// for any value.
+	// for any value. The drivers themselves no longer read it -- they run
+	// whatever *core.Engine they are handed.
 	Workers int
 }
 
@@ -40,6 +41,21 @@ func DefaultScale() Scale {
 // FullScale returns the paper's campaign sizes.
 func FullScale() Scale {
 	return Scale{Runs: 1000, HWMLayouts: 100, SynthRuns: 1000, Synth160Run: 300}
+}
+
+// SmokeScale returns the smallest scale at which every driver still
+// clears the statistical floors (the admissibility tests want 40+
+// measurements, and ablations halve Runs), used by `paperbench -short`
+// and the CI smoke run.
+func SmokeScale() Scale {
+	return Scale{Runs: 80, HWMLayouts: 10, SynthRuns: 80, Synth160Run: 40}
+}
+
+// NewEngine builds the shared campaign engine the drivers run on, sized
+// from the scale's Workers knob; extra options (events, pool sharing)
+// pass through to core.NewEngine.
+func NewEngine(s Scale, opts ...core.EngineOption) *core.Engine {
+	return core.NewEngine(append([]core.EngineOption{core.WithWorkers(s.Workers)}, opts...)...)
 }
 
 // FromEnv returns FullScale when REPRO_FULL=1 is set, DefaultScale
@@ -86,16 +102,27 @@ func Initials(name string) string {
 	return strings.ToUpper(name[:2])
 }
 
-// runAnalyzed runs an MBPTA campaign with the given L1 placement and
-// returns times plus analysis.
-func runAnalyzed(l1 placement.Kind, w workload.Workload, runs, workers int) (core.CampaignResult, core.Analysis, error) {
-	return core.RunAndAnalyze(core.Campaign{
+// analyzedRequest is an MBPTA campaign request with the given L1
+// placement, named for the driver that issues it.
+func analyzedRequest(name string, l1 placement.Kind, w workload.Workload, runs int) core.Request {
+	return core.Request{
+		Name:       name,
 		Spec:       core.PaperPlatform(l1),
 		Workload:   w,
 		Runs:       runs,
 		MasterSeed: MasterSeed,
-		Workers:    workers,
-	})
+		Analyze:    true,
+	}
+}
+
+// runAnalyzed runs an MBPTA campaign with the given L1 placement on the
+// engine and returns times plus analysis.
+func runAnalyzed(ctx context.Context, eng *core.Engine, l1 placement.Kind, w workload.Workload, runs int) (core.CampaignResult, core.Analysis, error) {
+	res, err := eng.Run(ctx, analyzedRequest(w.Name, l1, w, runs))
+	if err != nil {
+		return res.CampaignResult, core.Analysis{}, err
+	}
+	return res.CampaignResult, *res.Analysis, nil
 }
 
 // header renders a fixed-width table header with a rule.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -72,7 +73,7 @@ func TestDriversDeterministicAcrossWorkers(t *testing.T) {
 	s := tinyScale()
 	render := func(workers int) string {
 		s.Workers = workers
-		r, err := Figure5(s, 8)
+		r, err := Figure5(context.Background(), NewEngine(s), s, 8)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -104,7 +105,7 @@ func TestTable2SmallScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test skipped in -short mode")
 	}
-	r, err := Table2(tinyScale())
+	r, err := Table2(context.Background(), NewEngine(tinyScale()), tinyScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestFigure5SmallScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test skipped in -short mode")
 	}
-	r, err := Figure5(tinyScale(), 20)
+	r, err := Figure5(context.Background(), NewEngine(tinyScale()), tinyScale(), 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestFigure1Renders(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test skipped in -short mode")
 	}
-	r, err := Figure1(tinyScale())
+	r, err := Figure1(context.Background(), NewEngine(tinyScale()), tinyScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestAblationRMVariantSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test skipped in -short mode")
 	}
-	r, err := AblationRMVariant(tinyScale(), "puwmod01")
+	r, err := AblationRMVariant(context.Background(), NewEngine(tinyScale()), tinyScale(), "puwmod01")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -40,8 +41,11 @@ type MulticoreResult struct {
 
 // Multicore runs the subject benchmark solo and against three streaming
 // co-runners on the 4-core shared-bus platform, with RM L1 caches,
-// collecting runs-many seeds for both configurations.
-func Multicore(s Scale, subjectName string) (MulticoreResult, error) {
+// collecting runs-many seeds for both configurations. The seed sweeps
+// execute over the engine's shared pool via core.ShardRunsPool -- the
+// extension point for drivers whose execution context is not a single
+// sim.Core.
+func Multicore(ctx context.Context, eng *core.Engine, s Scale, subjectName string) (MulticoreResult, error) {
 	res := MulticoreResult{Subject: subjectName}
 	subject, err := workload.ByName(subjectName)
 	if err != nil {
@@ -68,7 +72,7 @@ func Multicore(s Scale, subjectName string) (MulticoreResult, error) {
 	}
 	collect := func(withHogs bool) ([]float64, error) {
 		times := make([]float64, runs)
-		err := core.ShardRuns(s.Workers, runs, mkSystem, func(sys *sim.System, r int) error {
+		err := core.ShardRunsPool(ctx, eng.Pool(), runs, mkSystem, func(sys *sim.System, r int) error {
 			sys.Reseed(prng.Derive(MasterSeed, r))
 			traces := []trace.Trace{subjectTrace, nil, nil, nil}
 			if withHogs {
@@ -159,17 +163,18 @@ type ConvergenceResult struct {
 
 // ConvergenceStudy grows the campaign in steps and tracks the pWCET
 // estimate until it stabilizes within 2%.
-func ConvergenceStudy(s Scale, benchName string) (ConvergenceResult, error) {
+func ConvergenceStudy(ctx context.Context, eng *core.Engine, s Scale, benchName string) (ConvergenceResult, error) {
 	res := ConvergenceResult{Bench: benchName}
 	w, err := workload.ByName(benchName)
 	if err != nil {
 		return res, err
 	}
 	total := s.Runs * 2
-	c, err := core.Campaign{
+	c, err := eng.Run(ctx, core.Request{
+		Name: "convergence/" + benchName,
 		Spec: core.PaperPlatform(placement.RM), Workload: w,
-		Runs: total, MasterSeed: MasterSeed, Workers: s.Workers,
-	}.Run()
+		Runs: total, MasterSeed: MasterSeed,
+	})
 	if err != nil {
 		return res, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ func TestMulticoreContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test skipped in -short mode")
 	}
-	r, err := Multicore(tinyScale(), "puwmod01")
+	r, err := Multicore(context.Background(), NewEngine(tinyScale()), tinyScale(), "puwmod01")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestConvergenceStudy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test skipped in -short mode")
 	}
-	r, err := ConvergenceStudy(tinyScale(), "rspeed01")
+	r, err := ConvergenceStudy(context.Background(), NewEngine(tinyScale()), tinyScale(), "rspeed01")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestEstimatorAblationSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test skipped in -short mode")
 	}
-	r, err := AblationEstimator(Scale{Runs: 80})
+	r, err := AblationEstimator(context.Background(), NewEngine(Scale{Runs: 80}), Scale{Runs: 80})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -26,12 +27,12 @@ type Fig1Result struct {
 }
 
 // Figure1 builds the illustrative curve on the a2time01 campaign.
-func Figure1(s Scale) (Fig1Result, error) {
+func Figure1(ctx context.Context, eng *core.Engine, s Scale) (Fig1Result, error) {
 	w, err := workload.ByName("a2time01")
 	if err != nil {
 		return Fig1Result{}, err
 	}
-	res, an, err := runAnalyzed(placement.RM, w, s.Runs, s.Workers)
+	res, an, err := runAnalyzed(ctx, eng, placement.RM, w, s.Runs)
 	if err != nil {
 		return Fig1Result{}, err
 	}
@@ -84,19 +85,24 @@ type Fig4aResult struct {
 	BestRatio float64 // paper: 0.38 (62% tighter, a2time)
 }
 
-// Figure4a runs every EEMBC-like benchmark under both placements.
-func Figure4a(s Scale) (Fig4aResult, error) {
+// Figure4a runs every EEMBC-like benchmark under both placements: one
+// 22-campaign batch over the engine's shared pool.
+func Figure4a(ctx context.Context, eng *core.Engine, s Scale) (Fig4aResult, error) {
 	var res Fig4aResult
 	res.BestRatio = math.Inf(1)
-	for _, w := range workload.EEMBC() {
-		_, rm, err := runAnalyzed(placement.RM, w, s.Runs, s.Workers)
-		if err != nil {
-			return res, fmt.Errorf("fig4a %s RM: %w", w.Name, err)
-		}
-		_, hrp, err := runAnalyzed(placement.HRP, w, s.Runs, s.Workers)
-		if err != nil {
-			return res, fmt.Errorf("fig4a %s hRP: %w", w.Name, err)
-		}
+	ws := workload.EEMBC()
+	var reqs []core.Request
+	for _, w := range ws {
+		reqs = append(reqs,
+			analyzedRequest("fig4a/"+w.Name+"/rm", placement.RM, w, s.Runs),
+			analyzedRequest("fig4a/"+w.Name+"/hrp", placement.HRP, w, s.Runs))
+	}
+	results, err := eng.RunBatch(ctx, reqs)
+	if err != nil {
+		return res, fmt.Errorf("fig4a: %w", err)
+	}
+	for i, w := range ws {
+		rm, hrp := results[2*i].Analysis, results[2*i+1].Analysis
 		row := Fig4aRow{
 			Bench: w.Name,
 			RM:    rm.PWCET15, HRP: hrp.PWCET15,
@@ -143,25 +149,31 @@ type Fig4bResult struct {
 	MaxRatio float64
 }
 
-// Figure4b runs the RM campaigns and the industrial hwm baseline.
-func Figure4b(s Scale) (Fig4bResult, error) {
+// Figure4b runs the RM campaigns and the industrial hwm baseline; MBPTA
+// and Baseline requests mix freely in one batch.
+func Figure4b(ctx context.Context, eng *core.Engine, s Scale) (Fig4bResult, error) {
 	var res Fig4bResult
-	for _, w := range workload.EEMBC() {
-		_, rm, err := runAnalyzed(placement.RM, w, s.Runs, s.Workers)
-		if err != nil {
-			return res, fmt.Errorf("fig4b %s RM: %w", w.Name, err)
-		}
-		hwm, err := core.HWMCampaign{
-			Spec:       core.DeterministicPlatform(),
-			Workload:   w,
-			Runs:       s.HWMLayouts,
-			MasterSeed: MasterSeed,
-			Workers:    s.Workers,
-		}.Run()
-		if err != nil {
-			return res, fmt.Errorf("fig4b %s hwm: %w", w.Name, err)
-		}
-		row := Fig4bRow{Bench: w.Name, PWCET: rm.PWCET15, HWM: hwm.HWM, Ratio: rm.PWCET15 / hwm.HWM}
+	ws := workload.EEMBC()
+	var reqs []core.Request
+	for _, w := range ws {
+		reqs = append(reqs,
+			analyzedRequest("fig4b/"+w.Name+"/rm", placement.RM, w, s.Runs),
+			core.Request{
+				Name:       "fig4b/" + w.Name + "/hwm",
+				Spec:       core.DeterministicPlatform(),
+				Workload:   w,
+				Runs:       s.HWMLayouts,
+				MasterSeed: MasterSeed,
+				Baseline:   true,
+			})
+	}
+	results, err := eng.RunBatch(ctx, reqs)
+	if err != nil {
+		return res, fmt.Errorf("fig4b: %w", err)
+	}
+	for i, w := range ws {
+		rm, hwm := results[2*i].Analysis, results[2*i+1].HWM()
+		row := Fig4bRow{Bench: w.Name, PWCET: rm.PWCET15, HWM: hwm, Ratio: rm.PWCET15 / hwm}
 		res.Rows = append(res.Rows, row)
 		if row.Ratio > res.MaxRatio {
 			res.MaxRatio = row.Ratio
@@ -204,7 +216,7 @@ type Fig5Result struct {
 
 // Figure5 runs the synthetic kernel with the given footprint under both
 // placements.
-func Figure5(s Scale, footprintKB int) (Fig5Result, error) {
+func Figure5(ctx context.Context, eng *core.Engine, s Scale, footprintKB int) (Fig5Result, error) {
 	runs := s.SynthRuns
 	if footprintKB >= 160 {
 		runs = s.Synth160Run
@@ -215,7 +227,7 @@ func Figure5(s Scale, footprintKB int) (Fig5Result, error) {
 	w := workload.Synthetic(footprintKB*1024, 50, 4)
 	res := Fig5Result{FootprintKB: footprintKB}
 	for _, kind := range []placement.Kind{placement.RM, placement.HRP} {
-		c, an, err := runAnalyzed(kind, w, runs, s.Workers)
+		c, an, err := runAnalyzed(ctx, eng, kind, w, runs)
 		if err != nil {
 			return res, fmt.Errorf("fig5 %dKB %v: %w", footprintKB, kind, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -65,18 +66,26 @@ type Table2Result struct {
 	Runs int
 }
 
-// Table2 runs every EEMBC-like benchmark on the RM platform and applies
-// the MBPTA admissibility tests.
-func Table2(s Scale) (Table2Result, error) {
+// Table2 runs every EEMBC-like benchmark on the RM platform as one batch
+// over the engine's shared pool and applies the MBPTA admissibility
+// tests. Batch scheduling is invisible in the numbers: each campaign's
+// randomness derives from (MasterSeed, run index) alone.
+func Table2(ctx context.Context, eng *core.Engine, s Scale) (Table2Result, error) {
 	res := Table2Result{Runs: s.Runs}
-	for _, w := range workload.EEMBC() {
-		_, an, err := runAnalyzed(placement.RM, w, s.Runs, s.Workers)
-		if err != nil {
-			return res, fmt.Errorf("table2 %s: %w", w.Name, err)
-		}
+	ws := workload.EEMBC()
+	reqs := make([]core.Request, len(ws))
+	for i, w := range ws {
+		reqs[i] = analyzedRequest("table2/"+w.Name, placement.RM, w, s.Runs)
+	}
+	results, err := eng.RunBatch(ctx, reqs)
+	if err != nil {
+		return res, fmt.Errorf("table2: %w", err)
+	}
+	for i, r := range results {
+		an := r.Analysis
 		res.Rows = append(res.Rows, Table2Row{
-			Bench:    w.Name,
-			Initials: Initials(w.Name),
+			Bench:    ws[i].Name,
+			Initials: Initials(ws[i].Name),
 			WW:       an.WW.Stat,
 			KSp:      an.KS.P,
 			ETp:      an.ET.P,
@@ -141,24 +150,31 @@ type AvgPerfResult struct {
 	MaxSlowdown  float64
 }
 
-// AveragePerformance runs both platforms over the EEMBC-like suite.
-func AveragePerformance(s Scale) (AvgPerfResult, error) {
+// AveragePerformance runs both platforms over the EEMBC-like suite as a
+// single 2x11-campaign batch on the engine's shared pool.
+func AveragePerformance(ctx context.Context, eng *core.Engine, s Scale) (AvgPerfResult, error) {
 	var res AvgPerfResult
-	for _, w := range workload.EEMBC() {
-		rm, err := core.Campaign{
-			Spec: core.PaperPlatform(placement.RM), Workload: w,
-			Runs: s.Runs / 4, MasterSeed: MasterSeed, Workers: s.Workers,
-		}.Run()
-		if err != nil {
-			return res, err
-		}
-		det, err := core.Campaign{
-			Spec: core.DeterministicPlatform(), Workload: w,
-			Runs: 2, MasterSeed: MasterSeed, // deterministic: runs identical
-		}.Run()
-		if err != nil {
-			return res, err
-		}
+	ws := workload.EEMBC()
+	var reqs []core.Request
+	for _, w := range ws {
+		reqs = append(reqs,
+			core.Request{
+				Name: "avgperf/" + w.Name + "/rm",
+				Spec: core.PaperPlatform(placement.RM), Workload: w,
+				Runs: s.Runs / 4, MasterSeed: MasterSeed,
+			},
+			core.Request{
+				Name: "avgperf/" + w.Name + "/det",
+				Spec: core.DeterministicPlatform(), Workload: w,
+				Runs: 2, MasterSeed: MasterSeed, // deterministic: runs identical
+			})
+	}
+	results, err := eng.RunBatch(ctx, reqs)
+	if err != nil {
+		return res, err
+	}
+	for i, w := range ws {
+		rm, det := results[2*i], results[2*i+1]
 		row := AvgPerfRow{
 			Bench:    w.Name,
 			RMMean:   rm.Mean(),

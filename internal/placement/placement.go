@@ -19,6 +19,7 @@ package placement
 import (
 	"fmt"
 	"math/bits"
+	"strings"
 
 	"repro/internal/benes"
 	"repro/internal/prng"
@@ -76,6 +77,26 @@ func (k Kind) String() string {
 		return "RM-rot"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind parses a user-facing placement name (case-insensitive; the
+// String() forms plus common aliases), the shared flag parser of the
+// rmsim and mbpta commands.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(s) {
+	case "modulo":
+		return Modulo, nil
+	case "xorfold", "xor":
+		return XORFold, nil
+	case "hrp":
+		return HRP, nil
+	case "rm":
+		return RM, nil
+	case "rm-rot", "rmrot":
+		return RMRot, nil
+	default:
+		return 0, fmt.Errorf("unknown placement %q (want Modulo, XORFold, hRP, RM or RM-rot)", s)
 	}
 }
 

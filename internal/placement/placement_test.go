@@ -517,3 +517,19 @@ func benchIndex(b *testing.B, k Kind) {
 	}
 	_ = sink
 }
+
+func TestParseKind(t *testing.T) {
+	cases := map[string]Kind{
+		"modulo": Modulo, "Modulo": Modulo, "xor": XORFold, "XORFold": XORFold,
+		"hRP": HRP, "HRP": HRP, "rm": RM, "RM-rot": RMRot, "rmrot": RMRot,
+	}
+	for in, want := range cases {
+		got, err := ParseKind(in)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseKind("random"); err == nil {
+		t.Error("unknown placement name accepted")
+	}
+}

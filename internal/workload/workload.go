@@ -87,15 +87,32 @@ func DefaultLayout() Layout {
 // library and table alignment, stack depth. Used by the high-water-mark
 // baseline of Figure 4(b).
 func RandomizedLayout(g *prng.PRNG) Layout {
+	// The default layout's deliberate scatter is replaced, not compounded:
+	// zeroing it first makes RandomizedLayoutFrom reproduce the historical
+	// absolute displacements bit-for-bit.
+	base := DefaultLayout()
+	base.Scatter = [ScatterSlots]uint64{}
+	return RandomizedLayoutFrom(base, g)
+}
+
+// RandomizedLayoutFrom draws the same displacement stream as
+// RandomizedLayout but applies it to a caller-supplied base layout:
+// region bases shift by 0..16KB-32 and each scatter slot gains a
+// line-granular displacement on top of the base's. This is what
+// HWMCampaign's optional Layout override perturbs, letting the baseline
+// explore mapping variability around a specific link map instead of the
+// default one. The result is a pure function of (base, the PRNG state),
+// so campaigns built on it stay bit-identical for any worker count.
+func RandomizedLayoutFrom(base Layout, g *prng.PRNG) Layout {
 	d := func() uint64 { return uint64(g.Intn(512)) * LineBytes } // 0..16KB-32
-	l := DefaultLayout()
+	l := base
 	l.Code += d()
 	l.Data += d()
 	l.Table += d()
 	l.Stack += d()
 	l.Pool += d()
 	for i := range l.Scatter {
-		l.Scatter[i] = d()
+		l.Scatter[i] += d()
 	}
 	return l
 }

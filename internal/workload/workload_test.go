@@ -218,3 +218,34 @@ func TestPointerChaseIsIrregular(t *testing.T) {
 		t.Fatalf("pointer chase looks sequential: %d/%d consecutive hops", sequential, len(hops))
 	}
 }
+
+func TestRandomizedLayoutFrom(t *testing.T) {
+	// The legacy stream is preserved: RandomizedLayout equals
+	// RandomizedLayoutFrom over the default bases with the deliberate
+	// scatter zeroed (absolute scatter replacement), for the same PRNG
+	// state.
+	legacyBase := DefaultLayout()
+	legacyBase.Scatter = [ScatterSlots]uint64{}
+	for seed := uint64(1); seed < 20; seed++ {
+		if got, want := RandomizedLayoutFrom(legacyBase, prng.New(seed)), RandomizedLayout(prng.New(seed)); got != want {
+			t.Fatalf("seed %d: From(default/zero-scatter) %+v != legacy %+v", seed, got, want)
+		}
+	}
+	// Displacements are applied relative to the supplied base.
+	base := DefaultLayout()
+	base.Data += 12
+	base.Scatter[3] = 5
+	l := RandomizedLayoutFrom(base, prng.New(7))
+	ref := RandomizedLayoutFrom(DefaultLayout(), prng.New(7))
+	if l.Data != ref.Data+12 {
+		t.Errorf("Data base shift lost: got %d, want %d", l.Data, ref.Data+12)
+	}
+	if l.Scatter[3] != ref.Scatter[3]-DefaultLayout().Scatter[3]+5 {
+		t.Errorf("scatter base not honoured: got %d", l.Scatter[3])
+	}
+	// Same PRNG state, same base -> identical layout (purity, the HWM
+	// determinism contract).
+	if RandomizedLayoutFrom(base, prng.New(7)) != RandomizedLayoutFrom(base, prng.New(7)) {
+		t.Error("RandomizedLayoutFrom is not a pure function of (base, seed)")
+	}
+}

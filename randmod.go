@@ -10,14 +10,27 @@
 //
 // # Quick start
 //
+// The front door is the Engine: one shared simulation worker pool serving
+// any number of campaigns, with context cancellation, progress events,
+// and deterministic batching.
+//
+//	eng := randmod.NewEngine() // GOMAXPROCS-sized shared pool
 //	w, _ := randmod.WorkloadByName("tblook01")
-//	res, an, err := randmod.RunAndAnalyze(randmod.Campaign{
+//	res, err := eng.Run(ctx, randmod.Request{
 //		Spec:       randmod.PaperPlatform(randmod.RM),
 //		Workload:   w,
 //		Runs:       1000,
 //		MasterSeed: 1,
+//		Analyze:    true,
 //	})
-//	fmt.Println("hwm:", res.HWM(), "pWCET@1e-15:", an.PWCET15)
+//	fmt.Println("hwm:", res.HWM(), "pWCET@1e-15:", res.Analysis.PWCET15)
+//
+// Many campaigns schedule over the same pool with Engine.RunBatch; per-
+// campaign results are bit-identical to running each Request alone, for
+// any pool size. Cancelling ctx aborts mid-campaign with an error
+// wrapping context.Canceled and the partial measurement vector in the
+// Result. The legacy one-shot entry points (Campaign.Run, RunAndAnalyze)
+// remain as deprecated shims over a private single-campaign engine.
 //
 // The heavy lifting lives in the internal packages (placement policies,
 // Benes networks, the cache and platform simulator, EVT and i.i.d.
@@ -26,6 +39,8 @@
 package randmod
 
 import (
+	"context"
+
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/evt"
@@ -91,10 +106,57 @@ func SyntheticWorkload(footprintBytes, sweeps, strideBytes int) Workload {
 	return workload.Synthetic(footprintBytes, sweeps, strideBytes)
 }
 
+// Engine is the context-aware service core of the library: a shared
+// simulation worker pool that runs, batches, streams and cancels
+// measurement campaigns. Construct one per process with NewEngine.
+type Engine = core.Engine
+
+// EngineOption configures NewEngine.
+type EngineOption = core.EngineOption
+
+// Request describes one campaign for the Engine; Result is its outcome
+// (an embedded CampaignResult plus the optional MBPTA Analysis).
+type (
+	Request = core.Request
+	Result  = core.Result
+)
+
+// Event is a progress notification (per-run completions and per-campaign
+// summaries) delivered to the WithEvents sink; EventKind discriminates.
+type (
+	Event     = core.Event
+	EventKind = core.EventKind
+)
+
+// Event kinds.
+const (
+	CampaignStarted  = core.CampaignStarted
+	RunCompleted     = core.RunCompleted
+	CampaignFinished = core.CampaignFinished
+)
+
+// NewEngine builds an Engine; by default it uses a GOMAXPROCS-sized
+// worker pool, no events, and no default campaign scale.
+func NewEngine(opts ...EngineOption) *Engine { return core.NewEngine(opts...) }
+
+// WithWorkers sizes the Engine's shared worker pool (0 = GOMAXPROCS).
+func WithWorkers(n int) EngineOption { return core.WithWorkers(n) }
+
+// WithEvents installs a progress sink; deliveries are serialized. The
+// sink runs synchronously on the worker path: keep it fast, never block,
+// and never call back into the Engine from it.
+func WithEvents(sink func(Event)) EngineOption { return core.WithEvents(sink) }
+
+// WithDefaultRuns sets the run count applied to Requests that leave Runs
+// at zero — the Engine-level campaign scale.
+func WithDefaultRuns(n int) EngineOption { return core.WithDefaultRuns(n) }
+
 // Campaign is a measurement campaign: one program, many runs, a fresh
 // hardware seed per run. Set Workers to shard the runs across a pool of
 // simulation workers (0 = GOMAXPROCS); Times is bit-identical for any
-// worker count.
+// worker count. Campaign.Run is the legacy blocking entry point; new
+// code should submit Campaign.Request() (or a Request literal) to an
+// Engine.
 type Campaign = core.Campaign
 
 // CampaignResult holds collected measurements and aggregate statistics.
@@ -111,8 +173,17 @@ type HWMCampaign = core.HWMCampaign
 
 // ShardRuns fans a loop of independent, run-indexed simulations out over a
 // worker pool; see core.ShardRuns for the determinism contract.
+//
+// Deprecated: use ShardRunsContext, which adds cancellation.
 func ShardRuns[T any](workers, runs int, build func() (T, error), do func(ctx T, run int) error) error {
 	return core.ShardRuns(workers, runs, build, do)
+}
+
+// ShardRunsContext is the context-aware ShardRuns: cancelling ctx aborts
+// the sweep between runs and returns ctx.Err(); completed runs keep
+// their run-indexed outputs.
+func ShardRunsContext[T any](ctx context.Context, workers, runs int, build func() (T, error), do func(c T, run int) error) error {
+	return core.ShardRunsContext(ctx, workers, runs, build, do)
 }
 
 // Analysis is the MBPTA pipeline output: i.i.d. tests, Gumbel fit, pWCET.
@@ -122,6 +193,9 @@ type Analysis = core.Analysis
 func Analyze(times []float64) (Analysis, error) { return core.Analyze(times) }
 
 // RunAndAnalyze runs a campaign and applies the MBPTA pipeline.
+//
+// Deprecated: set Request.Analyze and use Engine.Run, which adds
+// cancellation, progress and pool sharing.
 func RunAndAnalyze(c Campaign) (CampaignResult, Analysis, error) {
 	return core.RunAndAnalyze(c)
 }

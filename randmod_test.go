@@ -1,6 +1,8 @@
 package randmod
 
 import (
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -86,5 +88,62 @@ func TestPublicGumbelSurface(t *testing.T) {
 	g := Gumbel{Mu: 10, Beta: 2}
 	if q := g.QuantileSurvival(1e-15); q <= g.Mu {
 		t.Fatalf("deep quantile %.1f not in the tail", q)
+	}
+}
+
+func TestPublicEngineSurface(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test skipped in -short mode")
+	}
+	w, err := WorkloadByName("rspeed01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runsSeen int
+	eng := NewEngine(WithWorkers(4), WithDefaultRuns(50), WithEvents(func(ev Event) {
+		if ev.Kind == RunCompleted {
+			runsSeen++
+		}
+	}))
+	if eng.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", eng.Workers())
+	}
+	// One batch mixing an analyzed MBPTA campaign (Runs from the engine
+	// default) and an HWM baseline request built from a legacy literal.
+	hwm := HWMCampaign{Spec: DeterministicPlatform(), Workload: w, Runs: 10, MasterSeed: 2}
+	results, err := eng.RunBatch(context.Background(), []Request{
+		{Spec: PaperPlatform(RM), Workload: w, MasterSeed: 2, Analyze: true},
+		hwm.Request(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results[0].Times) != 50 {
+		t.Fatalf("engine default runs not applied: %d times", len(results[0].Times))
+	}
+	if results[0].Analysis == nil || results[0].Analysis.PWCET15 <= results[0].HWM() {
+		t.Fatal("batch member missing a sane analysis")
+	}
+	if len(results[1].Times) != 10 {
+		t.Fatalf("baseline member ran %d times", len(results[1].Times))
+	}
+	if runsSeen != 60 {
+		t.Fatalf("event stream saw %d runs, want 60", runsSeen)
+	}
+	// The batch member is bit-identical to the deprecated blocking path.
+	legacy, err := hwm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range legacy.Times {
+		if results[1].Times[i] != legacy.Times[i] {
+			t.Fatalf("Times[%d]: batch %v, legacy %v", i, results[1].Times[i], legacy.Times[i])
+		}
+	}
+	// Cancellation is part of the public contract.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Run(ctx, Request{Spec: PaperPlatform(RM), Workload: w, MasterSeed: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want wrapped context.Canceled", err)
 	}
 }
