@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race vet fmt lint verify smoke bench full-bench
+.PHONY: build test test-short race vet fmt lint verify smoke smoke-serve serve bench full-bench
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,15 @@ verify: lint build race
 # Exercise the binaries end-to-end at smoke scale (what CI runs).
 smoke:
 	$(GO) run ./cmd/paperbench -exp table2 -short -timeout 10m
+
+# Campaign service smoke: submit, poll to completion, verify the cached
+# resubmission (same fingerprint, no re-run). What CI's service step runs.
+smoke-serve:
+	sh scripts/smoke-serve.sh
+
+# Run the campaign service daemon locally.
+serve:
+	$(GO) run ./cmd/rmserved -addr :8080
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -v .

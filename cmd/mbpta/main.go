@@ -54,11 +54,18 @@ func main() {
 	var err error
 	if *in != "" {
 		times, err = readTimes(*in)
+		if err != nil {
+			fatal(err)
+		}
 	} else {
-		times, err = measure(*wname, *pname, *runs, *workers, *seed)
-	}
-	if err != nil {
-		fatal(err)
+		w, kind, rerr := core.ResolveNames(*wname, *pname)
+		if rerr != nil {
+			usageFatal(rerr)
+		}
+		times, err = measure(w, kind, *runs, *workers, *seed)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("measurements: %d\n", len(times))
 
@@ -97,15 +104,7 @@ func main() {
 
 // measure collects a fresh measurement vector on the Engine instead of
 // reading one from disk.
-func measure(wname, pname string, runs, workers int, seed uint64) ([]float64, error) {
-	w, err := workload.ByName(wname)
-	if err != nil {
-		return nil, err
-	}
-	kind, err := placement.ParseKind(pname)
-	if err != nil {
-		return nil, err
-	}
+func measure(w workload.Workload, kind placement.Kind, runs, workers int, seed uint64) ([]float64, error) {
 	spec := core.PlatformFor(kind)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -146,4 +145,11 @@ func readTimes(path string) ([]float64, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mbpta:", err)
 	os.Exit(1)
+}
+
+// usageFatal reports a bad flag value (unknown workload or placement
+// name) with the usage exit code.
+func usageFatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbpta:", err)
+	os.Exit(2)
 }

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestResolveNames pins the usage contract of mbpta's -workload and
+// -placement flags: unknown names are errors (reported on exit code 2 by
+// usageFatal) that name the bad value, via the shared core.ResolveNames.
+func TestResolveNames(t *testing.T) {
+	w, kind, err := core.ResolveNames("synth20k", "hrp")
+	if err != nil || w.Name != "synth20k" || kind.String() != "hRP" {
+		t.Fatalf("ResolveNames(synth20k, hrp) = (%v, %v, %v)", w.Name, kind, err)
+	}
+	if _, _, err := core.ResolveNames("bogus", "RM"); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown workload: err = %v", err)
+	}
+	if _, _, err := core.ResolveNames("synth20k", "bogus"); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown placement: err = %v", err)
+	}
+}
+
+func TestReadTimes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "times.txt")
+	if err := os.WriteFile(path, []byte("# header\n100\n\n200.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readTimes(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 100 || got[1] != 200.5 {
+		t.Fatalf("readTimes = %v", got)
+	}
+	if err := os.WriteFile(path, []byte("nan?\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readTimes(path); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}

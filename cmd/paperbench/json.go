@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// campaignJSON is one row of the -json report: the per-campaign summary
+// needed to track the performance trajectory across code changes.
+type campaignJSON struct {
+	Experiment string  `json:"experiment"`
+	Name       string  `json:"name"`
+	Runs       int     `json:"runs"`
+	HWM        float64 `json:"hwm"`
+	Mean       float64 `json:"mean"`
+	// pWCET quantiles from the MBPTA pipeline; omitted when the campaign
+	// is too small for the statistical floors (or the fit fails).
+	PWCET12     *float64 `json:"pwcet_1e12,omitempty"`
+	PWCET15     *float64 `json:"pwcet_1e15,omitempty"`
+	WallSeconds float64  `json:"wall_seconds"`
+	Error       string   `json:"error,omitempty"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	GeneratedAt time.Time      `json:"generated_at"`
+	Scale       string         `json:"scale"`
+	Workers     int            `json:"workers"`
+	Campaigns   []campaignJSON `json:"campaigns"`
+}
+
+// resultRecorder reconstructs per-campaign measurement vectors from the
+// Engine's event stream (RunCompleted carries the run index and its cycle
+// count), so the -json report needs no changes to the experiment drivers.
+// Event deliveries are serialized by the Engine; the mutex only fences
+// them against setExperiment/report calls from the main goroutine.
+type resultRecorder struct {
+	mu         sync.Mutex
+	experiment string
+	inflight   map[inflightKey]*inflightCampaign
+	done       []campaignJSON
+}
+
+type inflightKey struct {
+	campaign string
+	index    int
+}
+
+type inflightCampaign struct {
+	experiment string
+	times      []float64
+	started    time.Time
+}
+
+func newResultRecorder() *resultRecorder {
+	return &resultRecorder{inflight: make(map[inflightKey]*inflightCampaign)}
+}
+
+// setExperiment labels the campaigns recorded from now on.
+func (r *resultRecorder) setExperiment(name string) {
+	r.mu.Lock()
+	r.experiment = name
+	r.mu.Unlock()
+}
+
+func (r *resultRecorder) observe(ev core.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := inflightKey{ev.Campaign, ev.Index}
+	switch ev.Kind {
+	case core.CampaignStarted:
+		r.inflight[key] = &inflightCampaign{
+			experiment: r.experiment,
+			times:      make([]float64, ev.Total),
+			started:    time.Now(),
+		}
+	case core.RunCompleted:
+		if c := r.inflight[key]; c != nil && ev.Run < len(c.times) {
+			c.times[ev.Run] = ev.Cycles
+		}
+	case core.CampaignFinished:
+		c := r.inflight[key]
+		if c == nil {
+			return
+		}
+		delete(r.inflight, key)
+		row := campaignJSON{
+			Experiment:  c.experiment,
+			Name:        ev.Campaign,
+			Runs:        ev.Total,
+			WallSeconds: time.Since(c.started).Seconds(),
+		}
+		if ev.Err != nil {
+			row.Error = ev.Err.Error()
+		} else {
+			res := core.CampaignResult{Times: c.times}
+			row.HWM = res.HWM()
+			row.Mean = res.Mean()
+			// Recompute the pWCET quantiles from the reconstructed vector
+			// (bit-identical to the driver's: same times, same pipeline);
+			// campaigns below the statistical floors just omit them.
+			if an, err := core.Analyze(c.times); err == nil {
+				p12, p15 := an.PWCET12, an.PWCET15
+				row.PWCET12, row.PWCET15 = &p12, &p15
+			}
+		}
+		r.done = append(r.done, row)
+	}
+}
+
+// write renders the report to path.
+func (r *resultRecorder) write(path, scale string, workers int) error {
+	r.mu.Lock()
+	report := jsonReport{
+		GeneratedAt: time.Now().UTC(),
+		Scale:       scale,
+		Workers:     workers,
+		Campaigns:   r.done,
+	}
+	r.mu.Unlock()
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -14,7 +14,7 @@
 // Usage:
 //
 //	paperbench [-exp all|table1|table2|fig1|fig4a|fig4b|fig5|avgperf|collision|ablations|multicore|convergence]
-//	           [-full|-short] [-workers N] [-timeout d] [-progress] [-csv dir]
+//	           [-full|-short] [-workers N] [-timeout d] [-progress] [-csv dir] [-json path]
 //
 // -full restores the paper's campaign sizes (1000 runs per benchmark);
 // -short shrinks them to a smoke-test scale; the default regenerates
@@ -23,7 +23,9 @@
 // bit-identical for any value, see REPRO_WORKERS). -timeout bounds the
 // whole regeneration via context cancellation, -progress forces the live
 // per-campaign progress line (default: only when stderr is a terminal),
-// and -csv writes machine-readable series for plotting.
+// and -csv writes machine-readable series for plotting. -json writes a
+// per-campaign summary (name, HWM, mean, pWCET quantiles, wall time) so
+// the performance trajectory can be tracked across code changes.
 package main
 
 import (
@@ -69,6 +71,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the whole regeneration after this long (0 = no limit)")
 	progress := flag.Bool("progress", stderrIsTerminal(), "live per-campaign progress line on stderr")
 	csvDir := flag.String("csv", "", "directory for machine-readable CSV output (optional)")
+	jsonPath := flag.String("json", "", "write machine-readable per-campaign results (name, HWM, mean, pWCET quantiles, wall time) to this file")
 	flag.Parse()
 
 	if err := validateExp(*exp); err != nil {
@@ -99,9 +102,22 @@ func main() {
 
 	var opts []core.EngineOption
 	var meter *progressMeter
-	if *progress {
-		meter = newProgressMeter(os.Stderr)
-		opts = append(opts, core.WithEvents(meter.observe))
+	var recorder *resultRecorder
+	if *jsonPath != "" {
+		recorder = newResultRecorder()
+	}
+	if *progress || recorder != nil {
+		if *progress {
+			meter = newProgressMeter(os.Stderr)
+		}
+		opts = append(opts, core.WithEvents(func(ev core.Event) {
+			if recorder != nil {
+				recorder.observe(ev)
+			}
+			if meter != nil {
+				meter.observe(ev)
+			}
+		}))
 	}
 	eng := experiments.NewEngine(scale, opts...)
 
@@ -110,6 +126,9 @@ func main() {
 			return
 		}
 		start := time.Now()
+		if recorder != nil {
+			recorder.setExperiment(name)
+		}
 		out, err := f()
 		if meter != nil {
 			meter.clear()
@@ -257,6 +276,21 @@ func main() {
 		}
 		return r.Render(), nil
 	})
+
+	if recorder != nil {
+		label := "default"
+		if *full {
+			label = "full"
+		}
+		if *short {
+			label = "short"
+		}
+		if err := recorder.write(*jsonPath, label, eng.Workers()); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: writing -json report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "paperbench: wrote %s\n", *jsonPath)
+	}
 }
 
 // progressMeter renders a single overwritten status line from Engine

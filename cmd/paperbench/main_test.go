@@ -1,8 +1,15 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
 )
 
 func TestValidateExp(t *testing.T) {
@@ -24,5 +31,54 @@ func TestValidateExp(t *testing.T) {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("error %q does not mention %q", err, want)
 		}
+	}
+}
+
+// TestResultRecorder drives the -json recorder from a real (tiny) Engine
+// campaign and checks the written report: the reconstructed HWM and mean
+// must match the campaign result exactly, since the event stream carries
+// every run's cycle count.
+func TestResultRecorder(t *testing.T) {
+	rec := newResultRecorder()
+	rec.setExperiment("unit")
+	w, err := workload.ByName("puwmod01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(core.WithWorkers(2), core.WithEvents(rec.observe))
+	res, err := eng.Run(context.Background(), core.Request{
+		Spec: core.PaperPlatform(0), Workload: w, Runs: 60, MasterSeed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := rec.write(path, "short", eng.Workers()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report jsonReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Scale != "short" || len(report.Campaigns) != 1 {
+		t.Fatalf("report = %+v, want one campaign at short scale", report)
+	}
+	row := report.Campaigns[0]
+	if row.Experiment != "unit" || row.Name != "puwmod01" || row.Runs != 60 {
+		t.Fatalf("row = %+v", row)
+	}
+	if row.HWM != res.HWM() || row.Mean != res.Mean() {
+		t.Fatalf("reconstructed hwm/mean %v/%v, campaign %v/%v", row.HWM, row.Mean, res.HWM(), res.Mean())
+	}
+	if row.PWCET15 == nil || *row.PWCET15 <= row.HWM {
+		t.Fatalf("pWCET quantile missing or non-sensical: %+v", row)
+	}
+	if row.WallSeconds <= 0 {
+		t.Fatalf("wall time not recorded: %+v", row)
 	}
 }

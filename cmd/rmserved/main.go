@@ -1,0 +1,110 @@
+// Command rmserved is the campaign service daemon: the Engine behind an
+// HTTP API, with a content-addressed result cache so identical campaign
+// submissions run once and are served from memory ever after (results are
+// a pure function of the request by the determinism contract).
+//
+// Usage:
+//
+//	rmserved [-addr :8080] [-workers N] [-jobs N] [-queue N] [-cache N]
+//	         [-default-runs N] [-max-runs N]
+//
+// Endpoints:
+//
+//	POST /v1/campaigns            submit a campaign (JSON), returns id + fingerprint
+//	GET  /v1/campaigns/{id}        status / result (incl. pWCET analysis)
+//	GET  /v1/campaigns/{id}/events NDJSON stream of live campaign events
+//	GET  /v1/policies              placement policy catalog
+//	GET  /v1/workloads             workload catalog
+//	GET  /healthz                  liveness + queue and cache statistics
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops, in-flight
+// campaigns are cancelled via context, and the process exits once the
+// job workers have returned.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free one)")
+	workers := flag.Int("workers", 0, "simulation pool size (0 = GOMAXPROCS)")
+	jobs := flag.Int("jobs", 2, "campaigns executing concurrently")
+	queue := flag.Int("queue", 64, "bounded job queue depth (full queue returns 503)")
+	cache := flag.Int("cache", 1024, "content-addressed result cache size (entries, LRU)")
+	defaultRuns := flag.Int("default-runs", 300, "runs applied to submissions that omit them")
+	maxRuns := flag.Int("max-runs", 100000, "largest accepted campaign")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmserved:", err)
+		os.Exit(1)
+	}
+
+	svc := service.New(service.Config{
+		Workers:     *workers,
+		Jobs:        *jobs,
+		QueueDepth:  *queue,
+		CacheSize:   *cache,
+		DefaultRuns: *defaultRuns,
+		MaxRuns:     *maxRuns,
+	})
+	srv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	log.SetPrefix("rmserved: ")
+	log.SetFlags(log.LstdFlags)
+	log.Printf("listening on http://%s (workers=%d jobs=%d queue=%d cache=%d)",
+		listenHost(ln), svc.Engine().Workers(), *jobs, *queue, *cache)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "rmserved:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Print("signal received, draining (in-flight campaigns are cancelled)")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("listener shutdown: %v", err)
+		}
+		svc.Close()
+		log.Print("drained")
+	}
+}
+
+// listenHost renders the bound address with a connectable host: a
+// wildcard listen ("[::]:8080") is reported as 127.0.0.1 so logs and
+// smoke scripts can paste the URL directly.
+func listenHost(ln net.Listener) string {
+	a, ok := ln.Addr().(*net.TCPAddr)
+	if !ok {
+		return ln.Addr().String()
+	}
+	if a.IP == nil || a.IP.IsUnspecified() {
+		return fmt.Sprintf("127.0.0.1:%d", a.Port)
+	}
+	return a.String()
+}

@@ -25,7 +25,6 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/placement"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -47,13 +46,9 @@ func main() {
 		return
 	}
 
-	w, err := workload.ByName(*wname)
+	w, kind, err := core.ResolveNames(*wname, *pname)
 	if err != nil {
-		fatal(err)
-	}
-	kind, err := placement.ParseKind(*pname)
-	if err != nil {
-		fatal(err)
+		usageFatal(err)
 	}
 
 	spec := core.PlatformFor(kind)
@@ -104,4 +99,11 @@ const experimentsSeed = 0x9A9E6
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "rmsim:", err)
 	os.Exit(1)
+}
+
+// usageFatal reports a bad flag value (unknown workload or placement
+// name) with the usage exit code.
+func usageFatal(err error) {
+	fmt.Fprintln(os.Stderr, "rmsim:", err)
+	os.Exit(2)
 }

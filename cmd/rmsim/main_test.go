@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestResolveNames pins the usage contract of rmsim's -workload and
+// -placement flags: unknown names are errors (reported on exit code 2 by
+// usageFatal) that name the bad value, via the shared core.ResolveNames.
+func TestResolveNames(t *testing.T) {
+	w, kind, err := core.ResolveNames("tblook01", "rm")
+	if err != nil || w.Name != "tblook01" || kind.String() != "RM" {
+		t.Fatalf("ResolveNames(tblook01, rm) = (%v, %v, %v)", w.Name, kind, err)
+	}
+	if _, _, err := core.ResolveNames("no-such-workload", "RM"); err == nil {
+		t.Fatal("unknown workload accepted")
+	} else if !strings.Contains(err.Error(), "no-such-workload") {
+		t.Errorf("error %q does not name the workload", err)
+	}
+	if _, _, err := core.ResolveNames("tblook01", "no-such-placement"); err == nil {
+		t.Fatal("unknown placement accepted")
+	} else if !strings.Contains(err.Error(), "no-such-placement") {
+		t.Errorf("error %q does not name the placement", err)
+	}
+}

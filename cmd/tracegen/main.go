@@ -33,8 +33,10 @@ func main() {
 
 	w, err := workload.ByName(*wname)
 	if err != nil {
+		// Unknown names are usage errors: exit 2, the convention shared
+		// by all the CLIs (cf. paperbench -exp).
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 	layout := workload.DefaultLayout()
 	if *randomize != 0 {

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestWorkloadUsageError pins the usage contract of tracegen's -workload
+// flag: an unknown name is an error (reported on exit code 2 by main)
+// that names the bad value and lists the alternatives.
+func TestWorkloadUsageError(t *testing.T) {
+	w, err := workload.ByName("matrix01")
+	if err != nil || w.Name != "matrix01" {
+		t.Fatalf("ByName(matrix01) = (%v, %v)", w.Name, err)
+	}
+	_, err = workload.ByName("no-such-workload")
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	for _, want := range []string{"no-such-workload", "matrix01"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/placement"
+	"repro/internal/workload"
+)
+
+// WireRequest is the canonical JSON wire form of a Request, the submission
+// format of the campaign service. Platforms are selected by L1 placement
+// name exactly as in the CLIs (placement.ParseKind + PlatformFor, so
+// "Modulo" means the fully deterministic modulo+LRU baseline); workloads
+// by name (workload.ByName); the layout override is optional.
+//
+// The wire form is the unit of content addressing: Fingerprint hashes the
+// normalized fields that determine the measurement vector, so two
+// submissions that differ only in spelling ("rm" vs "RM") or in the
+// display name share a fingerprint -- and, by the Engine's determinism
+// contract, bit-identical Times.
+type WireRequest struct {
+	// Name labels the campaign in results and streams. It is a display
+	// label only: it does not enter the fingerprint.
+	Name string `json:"name,omitempty"`
+	// Placement is the L1 placement policy name (Modulo, XORFold, hRP,
+	// RM, RM-rot; case-insensitive, aliases accepted).
+	Placement string `json:"placement"`
+	// Workload is the benchmark name (e.g. "tblook01", "synth20k").
+	Workload string `json:"workload"`
+	// Runs is the campaign size. Zero lets the service apply its default.
+	Runs int `json:"runs,omitempty"`
+	// Seed is the campaign master seed.
+	Seed uint64 `json:"seed"`
+	// Baseline selects the industrial high-water-mark protocol
+	// (randomized memory layouts on the platform) instead of MBPTA.
+	Baseline bool `json:"baseline,omitempty"`
+	// Analyze additionally applies the MBPTA statistical pipeline.
+	Analyze bool `json:"analyze,omitempty"`
+	// Layout optionally overrides the base memory layout.
+	Layout *WireLayout `json:"layout,omitempty"`
+}
+
+// WireLayout is the JSON form of a workload.Layout.
+type WireLayout struct {
+	Code    uint64                        `json:"code"`
+	Data    uint64                        `json:"data"`
+	Table   uint64                        `json:"table"`
+	Stack   uint64                        `json:"stack"`
+	Pool    uint64                        `json:"pool"`
+	Scatter [workload.ScatterSlots]uint64 `json:"scatter"`
+}
+
+// Layout converts the wire form to a workload.Layout.
+func (l WireLayout) Layout() workload.Layout {
+	return workload.Layout{
+		Code: l.Code, Data: l.Data, Table: l.Table,
+		Stack: l.Stack, Pool: l.Pool, Scatter: l.Scatter,
+	}
+}
+
+// WireLayoutFrom converts a workload.Layout to its wire form.
+func WireLayoutFrom(l workload.Layout) WireLayout {
+	return WireLayout{
+		Code: l.Code, Data: l.Data, Table: l.Table,
+		Stack: l.Stack, Pool: l.Pool, Scatter: l.Scatter,
+	}
+}
+
+// DecodeWireRequest reads one JSON-encoded WireRequest. Unknown fields are
+// an error so typos ("sed" for "seed") fail loudly instead of silently
+// fingerprinting a different campaign.
+func DecodeWireRequest(r io.Reader) (WireRequest, error) {
+	var w WireRequest
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return WireRequest{}, fmt.Errorf("core: decoding request: %w", err)
+	}
+	return w, nil
+}
+
+// Normalize validates the wire request and returns its canonical form:
+// the placement spelled as Kind.String(), the workload verified against
+// the registry, and Runs checked positive. Name passes through untouched
+// (it is a label, not content).
+func (w WireRequest) Normalize() (WireRequest, error) {
+	kind, err := placement.ParseKind(w.Placement)
+	if err != nil {
+		return WireRequest{}, fmt.Errorf("core: %w", err)
+	}
+	if _, err := workload.ByName(w.Workload); err != nil {
+		return WireRequest{}, fmt.Errorf("core: %w", err)
+	}
+	if w.Runs < 1 {
+		return WireRequest{}, errors.New("core: request needs at least one run")
+	}
+	w.Placement = kind.String()
+	return w, nil
+}
+
+// Request resolves the wire form into an executable Request: the platform
+// is PlatformFor(placement kind), the workload comes from the registry.
+func (w WireRequest) Request() (Request, error) {
+	n, err := w.Normalize()
+	if err != nil {
+		return Request{}, err
+	}
+	kind, _ := placement.ParseKind(n.Placement)
+	wl, _ := workload.ByName(n.Workload)
+	req := Request{
+		Name:       n.Name,
+		Spec:       PlatformFor(kind),
+		Workload:   wl,
+		Runs:       n.Runs,
+		MasterSeed: n.Seed,
+		Baseline:   n.Baseline,
+		Analyze:    n.Analyze,
+	}
+	if n.Layout != nil {
+		l := n.Layout.Layout()
+		req.Layout = &l
+	}
+	return req, nil
+}
+
+// Label returns the display name of the campaign: Name if set, else the
+// workload name with the same "/hwm" baseline suffix Request.name uses.
+func (w WireRequest) Label() string {
+	if w.Name != "" {
+		return w.Name
+	}
+	n := w.Workload
+	if w.Baseline {
+		n += "/hwm"
+	}
+	return n
+}
+
+// fingerprintVersion tags the hash layout; bump it if the canonical
+// serialization below ever changes meaning.
+const fingerprintVersion = "rmfp1"
+
+// Fingerprint returns the content address of the campaign: a 128-bit hex
+// digest over the normalized request fields that determine the result
+// (placement kind, workload, runs, seed, baseline, analyze, layout).
+// The display Name is excluded. By the Engine's determinism contract,
+// equal fingerprints yield bit-identical Times on any host, for any pool
+// size -- which is what makes results safely cacheable by fingerprint.
+func (w WireRequest) Fingerprint() (string, error) {
+	n, err := w.Normalize()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|placement=%s|workload=%s|runs=%d|seed=%d|baseline=%t|analyze=%t",
+		fingerprintVersion, n.Placement, n.Workload, n.Runs, n.Seed, n.Baseline, n.Analyze)
+	if n.Layout != nil {
+		fmt.Fprintf(&b, "|layout=%d,%d,%d,%d,%d", n.Layout.Code, n.Layout.Data,
+			n.Layout.Table, n.Layout.Stack, n.Layout.Pool)
+		for _, s := range n.Layout.Scatter {
+			fmt.Fprintf(&b, ",%d", s)
+		}
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return fmt.Sprintf("%x", sum[:16]), nil
+}
+
+// PlacementNames returns the user-facing names of every placement kind in
+// declaration order, for service catalogs and usage messages.
+func PlacementNames() []string {
+	kinds := placement.Kinds()
+	out := make([]string, len(kinds))
+	for i, k := range kinds {
+		out[i] = k.String()
+	}
+	return out
+}
+
+// ResolveNames maps the user-facing workload and placement names shared
+// by the CLIs (-workload/-placement flags) and usage messages to their
+// registry entries. An unknown name is a usage error: the commands
+// report it on exit code 2 (the paperbench -exp convention).
+func ResolveNames(wname, pname string) (workload.Workload, placement.Kind, error) {
+	w, err := workload.ByName(wname)
+	if err != nil {
+		return workload.Workload{}, 0, err
+	}
+	kind, err := placement.ParseKind(pname)
+	if err != nil {
+		return workload.Workload{}, 0, err
+	}
+	return w, kind, nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/placement"
+	"repro/internal/workload"
+)
+
+func TestWireRequestRoundTrip(t *testing.T) {
+	in := strings.NewReader(`{"name":"demo","placement":"rm","workload":"tblook01","runs":80,"seed":7,"analyze":true}`)
+	w, err := DecodeWireRequest(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := w.Request()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Name != "demo" || req.Workload.Name != "tblook01" || req.Runs != 80 ||
+		req.MasterSeed != 7 || !req.Analyze || req.Baseline {
+		t.Fatalf("resolved request mismatch: %+v", req)
+	}
+	// "rm" selects the paper platform; "modulo" the deterministic baseline.
+	if req.Spec != PaperPlatform(placement.RM) {
+		t.Fatalf("rm resolved to %+v, want the paper RM platform", req.Spec)
+	}
+	det, err := WireRequest{Placement: "modulo", Workload: "tblook01", Runs: 1}.Request()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Spec != DeterministicPlatform() {
+		t.Fatal("modulo did not resolve to the deterministic platform")
+	}
+}
+
+func TestWireRequestUnknownFieldRejected(t *testing.T) {
+	_, err := DecodeWireRequest(strings.NewReader(`{"workload":"tblook01","placement":"RM","runs":10,"sed":3}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestWireRequestValidation(t *testing.T) {
+	bad := []WireRequest{
+		{Placement: "nope", Workload: "tblook01", Runs: 10},
+		{Placement: "RM", Workload: "nope", Runs: 10},
+		{Placement: "RM", Workload: "tblook01", Runs: 0},
+	}
+	for _, w := range bad {
+		if _, err := w.Normalize(); err == nil {
+			t.Errorf("Normalize accepted %+v", w)
+		}
+		if _, err := w.Fingerprint(); err == nil {
+			t.Errorf("Fingerprint accepted %+v", w)
+		}
+	}
+}
+
+func TestFingerprintCanonicalization(t *testing.T) {
+	base := WireRequest{Placement: "RM", Workload: "tblook01", Runs: 100, Seed: 1}
+	fp, err := base.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp) != 32 {
+		t.Fatalf("fingerprint %q is not 32 hex chars", fp)
+	}
+
+	// Spelling of the placement and the display name do not change content.
+	same := []WireRequest{
+		{Placement: "rm", Workload: "tblook01", Runs: 100, Seed: 1},
+		{Name: "another label", Placement: "RM", Workload: "tblook01", Runs: 100, Seed: 1},
+	}
+	for _, w := range same {
+		got, err := w.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != fp {
+			t.Errorf("fingerprint of %+v = %s, want %s", w, got, fp)
+		}
+	}
+
+	// Every content field perturbation must change the hash.
+	l := WireLayoutFrom(workload.DefaultLayout())
+	diff := []WireRequest{
+		{Placement: "hRP", Workload: "tblook01", Runs: 100, Seed: 1},
+		{Placement: "RM", Workload: "matrix01", Runs: 100, Seed: 1},
+		{Placement: "RM", Workload: "tblook01", Runs: 101, Seed: 1},
+		{Placement: "RM", Workload: "tblook01", Runs: 100, Seed: 2},
+		{Placement: "RM", Workload: "tblook01", Runs: 100, Seed: 1, Baseline: true},
+		{Placement: "RM", Workload: "tblook01", Runs: 100, Seed: 1, Analyze: true},
+		{Placement: "RM", Workload: "tblook01", Runs: 100, Seed: 1, Layout: &l},
+	}
+	seen := map[string]string{fp: "base"}
+	for _, w := range diff {
+		got, err := w.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("fingerprint collision between %+v and %s", w, prev)
+		}
+		seen[got] = w.Placement + "/" + w.Workload
+	}
+}
+
+func TestWireLayoutRoundTrip(t *testing.T) {
+	l := workload.DefaultLayout()
+	l.Scatter[3] = 4242
+	if got := WireLayoutFrom(l).Layout(); got != l {
+		t.Fatalf("layout round trip: got %+v want %+v", got, l)
+	}
+}
+
+func TestWireRequestLabel(t *testing.T) {
+	w := WireRequest{Workload: "tblook01", Placement: "Modulo", Baseline: true}
+	if got := w.Label(); got != "tblook01/hwm" {
+		t.Fatalf("Label() = %q, want tblook01/hwm", got)
+	}
+	w.Name = "custom"
+	if got := w.Label(); got != "custom" {
+		t.Fatalf("Label() = %q, want custom", got)
+	}
+}

@@ -80,24 +80,43 @@ func (k Kind) String() string {
 	}
 }
 
-// ParseKind parses a user-facing placement name (case-insensitive; the
-// String() forms plus common aliases), the shared flag parser of the
-// rmsim and mbpta commands.
-func ParseKind(s string) (Kind, error) {
-	switch strings.ToLower(s) {
-	case "modulo":
-		return Modulo, nil
-	case "xorfold", "xor":
-		return XORFold, nil
-	case "hrp":
-		return HRP, nil
-	case "rm":
-		return RM, nil
-	case "rm-rot", "rmrot":
-		return RMRot, nil
-	default:
-		return 0, fmt.Errorf("unknown placement %q (want Modulo, XORFold, hRP, RM or RM-rot)", s)
+// Kinds returns every built-in placement kind in declaration order --
+// the single registry behind ParseKind, the CLIs and the service
+// catalog.
+func Kinds() []Kind { return []Kind{Modulo, XORFold, HRP, RM, RMRot} }
+
+// Aliases returns the lower-case spellings ParseKind accepts for a kind
+// (the canonical String() form lower-cased, plus the documented short
+// aliases). Unknown kinds return nil.
+func Aliases(k Kind) []string {
+	switch k {
+	case Modulo:
+		return []string{"modulo"}
+	case XORFold:
+		return []string{"xorfold", "xor"}
+	case HRP:
+		return []string{"hrp"}
+	case RM:
+		return []string{"rm"}
+	case RMRot:
+		return []string{"rm-rot", "rmrot"}
 	}
+	return nil
+}
+
+// ParseKind parses a user-facing placement name (case-insensitive; the
+// String() forms plus the Aliases), the shared flag parser of the rmsim
+// and mbpta commands and of the campaign service codec.
+func ParseKind(s string) (Kind, error) {
+	ls := strings.ToLower(s)
+	for _, k := range Kinds() {
+		for _, a := range Aliases(k) {
+			if ls == a {
+				return k, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("unknown placement %q (want Modulo, XORFold, hRP, RM or RM-rot)", s)
 }
 
 // New constructs a policy of the given kind for a cache with sets sets.

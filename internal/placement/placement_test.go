@@ -3,13 +3,45 @@ package placement
 import (
 	"math"
 	"math/bits"
+	"strings"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/prng"
 )
 
-func allKinds() []Kind { return []Kind{Modulo, XORFold, HRP, RM, RMRot} }
+func allKinds() []Kind { return Kinds() }
+
+// TestKindsRegistry pins the registry the parser, the CLIs and the
+// service catalog derive from: every kind is listed, and every alias
+// parses back to its kind.
+func TestKindsRegistry(t *testing.T) {
+	if got := Kinds(); len(got) != 5 {
+		t.Fatalf("Kinds() = %v, want the 5 built-in kinds", got)
+	}
+	for _, k := range Kinds() {
+		aliases := Aliases(k)
+		if len(aliases) == 0 {
+			t.Errorf("Aliases(%v) is empty", k)
+		}
+		found := false
+		for _, a := range aliases {
+			got, err := ParseKind(a)
+			if err != nil || got != k {
+				t.Errorf("ParseKind(%q) = %v, %v; want %v", a, got, err, k)
+			}
+			if a == strings.ToLower(k.String()) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Aliases(%v) = %v misses the canonical lower-cased %q", k, aliases, strings.ToLower(k.String()))
+		}
+	}
+	if Aliases(Kind(99)) != nil {
+		t.Error("Aliases of an unknown kind is not nil")
+	}
+}
 
 func TestKindString(t *testing.T) {
 	want := map[Kind]string{Modulo: "Modulo", XORFold: "XORFold", HRP: "hRP", RM: "RM"}
@@ -531,5 +563,59 @@ func TestParseKind(t *testing.T) {
 	}
 	if _, err := ParseKind("random"); err == nil {
 		t.Error("unknown placement name accepted")
+	}
+}
+
+// TestKindRoundTrip: ParseKind(k.String()) succeeds and returns k, for
+// every Kind -- the contract the wire codec and the CLIs lean on.
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range allKinds() {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Errorf("ParseKind(%q): %v", k.String(), err)
+			continue
+		}
+		if got != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+}
+
+// TestParseKindCaseInsensitive is a property test: ParseKind accepts any
+// casing of every documented name and alias, always yielding the same
+// Kind. The case mask drives which letters are upper-cased.
+func TestParseKindCaseInsensitive(t *testing.T) {
+	names := map[string]Kind{
+		"modulo":  Modulo,
+		"xorfold": XORFold, "xor": XORFold,
+		"hrp":    HRP,
+		"rm":     RM,
+		"rm-rot": RMRot, "rmrot": RMRot,
+	}
+	// Canonical String() spellings are documented names too.
+	for _, k := range allKinds() {
+		names[strings.ToLower(k.String())] = k
+	}
+	recase := func(s string, mask uint64) string {
+		b := []byte(strings.ToLower(s))
+		for i := range b {
+			if mask&(1<<uint(i%64)) != 0 && b[i] >= 'a' && b[i] <= 'z' {
+				b[i] -= 'a' - 'A'
+			}
+		}
+		return string(b)
+	}
+	f := func(mask uint64) bool {
+		for name, want := range names {
+			got, err := ParseKind(recase(name, mask))
+			if err != nil || got != want {
+				t.Logf("ParseKind(%q) = %v, %v; want %v", recase(name, mask), got, err, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,443 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/placement"
+	"repro/internal/workload"
+)
+
+// Config sizes the campaign service. The zero value is usable: every
+// field falls back to the default documented on it.
+type Config struct {
+	// Workers sizes the shared simulation pool (0 = GOMAXPROCS).
+	Workers int
+	// Jobs is the number of campaigns executing concurrently (default 2).
+	// Simulation parallelism within a campaign comes from Workers; Jobs
+	// only bounds how many campaigns contend for that pool at once.
+	Jobs int
+	// QueueDepth bounds the admitted-but-not-running backlog (default
+	// 64). A full queue rejects submissions with 503.
+	QueueDepth int
+	// CacheSize bounds the content-addressed result cache (default 1024
+	// entries, LRU-evicted).
+	CacheSize int
+	// DefaultRuns is applied to submissions that omit runs (default 300).
+	DefaultRuns int
+	// MaxRuns rejects larger submissions (default 100000).
+	MaxRuns int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Jobs <= 0 {
+		c.Jobs = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+	if c.DefaultRuns <= 0 {
+		c.DefaultRuns = 300
+	}
+	if c.MaxRuns <= 0 {
+		c.MaxRuns = 100000
+	}
+	return c
+}
+
+// Server is the campaign service: one shared core.Engine, a bounded job
+// queue in front of it, and a content-addressed Store that serves repeat
+// submissions in O(1) and coalesces concurrent duplicates onto a single
+// execution. Build one with New, mount Handler on an http.Server, and
+// Close it to drain.
+type Server struct {
+	cfg   Config
+	eng   *core.Engine
+	store *Store
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	queue chan *Job
+	// slots is the admission semaphore: a token is reserved before a job
+	// may be created and held until a worker pops it from the queue (or
+	// released on coalescing), so a queue send can never block and an
+	// admission never has to be undone -- the fix for the classic
+	// "create, fail to enqueue, delete while someone coalesced" race.
+	slots chan struct{}
+	wg    sync.WaitGroup
+
+	// closeMu serializes admissions against Close: Submit holds the read
+	// side for its whole admission, Close takes the write side to flip
+	// accepting, so no submission can slip a job into the queue after
+	// Close has drained it.
+	closeMu sync.RWMutex
+
+	jobsMu sync.RWMutex
+	jobs   map[string]*Job // by Job.ID
+
+	seq       atomic.Uint64
+	accepting atomic.Bool
+	started   time.Time
+}
+
+// New builds the service and starts its job workers. The caller owns the
+// HTTP listener; Close drains the service.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		slots:   make(chan struct{}, cfg.QueueDepth),
+		started: time.Now(),
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	// Lock order: store shard -> jobsMu (canEvict/onEvict run under the
+	// shard lock); nothing acquires them the other way around.
+	s.store = NewStore(cfg.CacheSize,
+		func(v any) bool {
+			st := v.(*Job).State()
+			return st == JobDone || st == JobFailed || st == JobCanceled
+		},
+		func(_ string, v any) {
+			j := v.(*Job)
+			s.jobsMu.Lock()
+			delete(s.jobs, j.ID)
+			s.jobsMu.Unlock()
+		})
+	s.eng = core.NewEngine(core.WithWorkers(cfg.Workers), core.WithEvents(s.route))
+	s.accepting.Store(true)
+	for i := 0; i < cfg.Jobs; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Engine exposes the shared engine (tests; embedding the service).
+func (s *Server) Engine() *core.Engine { return s.eng }
+
+// Store exposes the result cache (health reporting, tests).
+func (s *Server) Store() *Store { return s.store }
+
+// Close stops admissions, cancels in-flight campaigns via context, marks
+// the queued backlog canceled, and waits for the job workers. Safe to
+// call once the HTTP listener is shut down (or concurrently with it:
+// late submissions get 503).
+func (s *Server) Close() {
+	// The write lock waits out any Submit in flight, so after the flip no
+	// new job can reach the queue.
+	s.closeMu.Lock()
+	s.accepting.Store(false)
+	s.closeMu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+	// Workers are gone; whatever is still queued will never start.
+	for {
+		select {
+		case j := <-s.queue:
+			j.finish(core.Result{}, errors.New("service: server shut down before the campaign started"), true, time.Now())
+		default:
+			return
+		}
+	}
+}
+
+// route is the Engine event sink: requests execute under their
+// fingerprint as campaign name (unique among in-flight jobs by
+// singleflight), so events map back to exactly one job.
+func (s *Server) route(ev core.Event) {
+	if v, ok := s.store.Peek(ev.Campaign); ok {
+		v.(*Job).publish(ev)
+	}
+}
+
+// worker executes queued jobs on the shared engine until drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j := <-s.queue:
+			<-s.slots // the job left the queue; free its admission slot
+			j.start(time.Now())
+			res, err := s.eng.Run(s.baseCtx, j.req)
+			canceled := err != nil &&
+				(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+			j.finish(res, err, canceled, time.Now())
+		}
+	}
+}
+
+// Submit admits one wire request: normalize, fingerprint, coalesce onto
+// an existing job or enqueue a new one. The returned bool reports whether
+// the submission was served by an existing job (cache hit or in-flight
+// coalescing) rather than a fresh execution.
+func (s *Server) Submit(wire core.WireRequest) (*Job, bool, error) {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if !s.accepting.Load() {
+		return nil, false, errUnavailable{"server is draining"}
+	}
+	if wire.Runs == 0 {
+		wire.Runs = s.cfg.DefaultRuns
+	}
+	norm, err := wire.Normalize()
+	if err != nil {
+		return nil, false, errBadRequest{err.Error()}
+	}
+	if norm.Runs > s.cfg.MaxRuns {
+		return nil, false, errBadRequest{fmt.Sprintf("runs %d exceeds the server limit %d", norm.Runs, s.cfg.MaxRuns)}
+	}
+	req, err := norm.Request()
+	if err != nil {
+		return nil, false, errBadRequest{err.Error()}
+	}
+	fp, err := norm.Fingerprint()
+	if err != nil {
+		return nil, false, errBadRequest{err.Error()}
+	}
+
+	// Reserve the admission slot before creating anything: if the queue
+	// is at capacity the submission is refused up front, so a created
+	// job always reaches the queue and is never retracted (a retraction
+	// would race with a duplicate coalescing onto it).
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		return nil, false, errUnavailable{"job queue full, retry later"}
+	}
+	v, created := s.store.GetOrCreate(fp, func() any {
+		id := fmt.Sprintf("c-%06d", s.seq.Add(1))
+		j := newJob(id, fp, norm, req, time.Now())
+		s.jobsMu.Lock()
+		s.jobs[id] = j
+		s.jobsMu.Unlock()
+		return j
+	})
+	job := v.(*Job)
+	if !created {
+		<-s.slots // coalesced: nothing was enqueued, free the slot
+		return job, true, nil
+	}
+	// Cannot block: every resident queue entry holds a slot token, and
+	// this admission holds one too, so there is room by construction.
+	s.queue <- job
+	return job, false, nil
+}
+
+// JobByID returns a job by its handle.
+func (s *Server) JobByID(id string) (*Job, bool) {
+	s.jobsMu.RLock()
+	defer s.jobsMu.RUnlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// errBadRequest and errUnavailable map service errors to HTTP statuses.
+type errBadRequest struct{ msg string }
+
+func (e errBadRequest) Error() string { return e.msg }
+
+type errUnavailable struct{ msg string }
+
+func (e errUnavailable) Error() string { return e.msg }
+
+// Handler returns the /v1 campaign API plus /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// maxBodyBytes bounds campaign submissions; a full Layout is well under
+// 1KB, so 64KB leaves generous headroom.
+const maxBodyBytes = 64 << 10
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch err.(type) {
+	case errBadRequest:
+		status = http.StatusBadRequest
+	case errUnavailable:
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	wire, err := core.DecodeWireRequest(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, errBadRequest{err.Error()})
+		return
+	}
+	job, coalesced, err := s.Submit(wire)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	status := http.StatusAccepted
+	if coalesced {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, submitResponse{
+		ID:          job.ID,
+		Fingerprint: job.Fingerprint,
+		State:       job.State().String(),
+		Cached:      coalesced,
+	})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.JobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown campaign id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, statusOf(job))
+}
+
+// handleEvents streams the job's live core.Events as NDJSON, one JSON
+// object per line, terminated by a line of kind "end" when the job
+// reaches a terminal state (immediately, for an already-finished job).
+// The stream also ends when the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.JobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown campaign id"})
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	writeLine := func(v any) bool {
+		if err := enc.Encode(v); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	// Subscribe before inspecting state so no completion slips between
+	// the check and the subscription.
+	ch := job.subscribe()
+	defer job.unsubscribe(ch)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			if !writeLine(wireEventOf(ev)) {
+				return
+			}
+		case <-job.Done():
+			// Drain whatever the subscription already buffered, then
+			// close with the terminal line.
+			for {
+				select {
+				case ev := <-ch:
+					if !writeLine(wireEventOf(ev)) {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			state, _, _, jerr, _, _ := job.Snapshot()
+			end := wireEvent{Kind: "end", Campaign: job.Wire.Label(), State: state.String()}
+			if jerr != nil {
+				end.Err = jerr.Error()
+			}
+			writeLine(end)
+			return
+		}
+	}
+}
+
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	var out []policyJSON
+	for _, kind := range placement.Kinds() {
+		p, err := placement.New(kind, 128)
+		if err != nil {
+			continue
+		}
+		out = append(out, policyJSON{
+			Name:       kind.String(),
+			Aliases:    placement.Aliases(kind),
+			Randomized: p.Randomized(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	var out []workloadJSON
+	for _, wl := range workload.All() {
+		out = append(out, workloadJSON{Name: wl.Name, Description: wl.Description})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.jobsMu.RLock()
+	var queued, running, done, failed, canceled int
+	for _, j := range s.jobs {
+		switch j.State() {
+		case JobQueued:
+			queued++
+		case JobRunning:
+			running++
+		case JobDone:
+			done++
+		case JobFailed:
+			failed++
+		case JobCanceled:
+			canceled++
+		}
+	}
+	s.jobsMu.RUnlock()
+	status := "ok"
+	if !s.accepting.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, healthJSON{
+		Status:        status,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Workers:       s.eng.Workers(),
+		JobSlots:      s.cfg.Jobs,
+		QueueDepth:    s.cfg.QueueDepth,
+		QueueLen:      len(s.queue),
+		Jobs:          jobCounts{Queued: queued, Running: running, Done: done, Failed: failed, Canceled: canceled},
+		Cache:         s.store.Stats(),
+	})
+}

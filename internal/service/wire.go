@@ -1,0 +1,190 @@
+package service
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// submitResponse answers POST /v1/campaigns.
+type submitResponse struct {
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint"`
+	State       string `json:"state"`
+	// Cached reports that the submission was served by an existing job
+	// (a finished cached result, or coalescing onto an in-flight
+	// duplicate) instead of scheduling a fresh execution.
+	Cached bool `json:"cached"`
+}
+
+// statusResponse answers GET /v1/campaigns/{id}.
+type statusResponse struct {
+	ID          string           `json:"id"`
+	Fingerprint string           `json:"fingerprint"`
+	Request     core.WireRequest `json:"request"`
+	State       string           `json:"state"`
+	RunsDone    int              `json:"runs_done"`
+	Submitted   time.Time        `json:"submitted"`
+	Started     *time.Time       `json:"started,omitempty"`
+	Finished    *time.Time       `json:"finished,omitempty"`
+	Error       string           `json:"error,omitempty"`
+	Result      *resultJSON      `json:"result,omitempty"`
+}
+
+// resultJSON is the wire form of a core.Result.
+type resultJSON struct {
+	Name    string    `json:"name"`
+	Runs    int       `json:"runs"`
+	HWM     float64   `json:"hwm"`
+	Mean    float64   `json:"mean"`
+	IL1Miss float64   `json:"il1_miss"`
+	DL1Miss float64   `json:"dl1_miss"`
+	L2Miss  float64   `json:"l2_miss"`
+	Times   []float64 `json:"times"`
+	Trace   struct {
+		Accesses int `json:"accesses"`
+		Fetches  int `json:"fetches"`
+		Loads    int `json:"loads"`
+		Stores   int `json:"stores"`
+	} `json:"trace"`
+	Analysis *analysisJSON `json:"analysis,omitempty"`
+}
+
+// analysisJSON is the wire form of the MBPTA pipeline output, with the
+// pWCET quantiles the paper reports.
+type analysisJSON struct {
+	WWStat     float64 `json:"ww_stat"`
+	WWPass     bool    `json:"ww_pass"`
+	KSP        float64 `json:"ks_p"`
+	KSPass     bool    `json:"ks_pass"`
+	ETP        float64 `json:"et_p"`
+	ETPass     bool    `json:"et_pass"`
+	IIDPass    bool    `json:"iid_pass"`
+	GumbelMu   float64 `json:"gumbel_mu"`
+	GumbelBeta float64 `json:"gumbel_beta"`
+	Block      int     `json:"block"`
+	PWCET12    float64 `json:"pwcet_1e12"`
+	PWCET15    float64 `json:"pwcet_1e15"`
+}
+
+func analysisOf(a *core.Analysis) *analysisJSON {
+	if a == nil {
+		return nil
+	}
+	return &analysisJSON{
+		WWStat: a.WW.Stat, WWPass: a.WW.Pass,
+		KSP: a.KS.P, KSPass: a.KS.Pass,
+		ETP: a.ET.P, ETPass: a.ET.Pass,
+		IIDPass:  a.IIDPass,
+		GumbelMu: a.Model.Fit.Mu, GumbelBeta: a.Model.Fit.Beta, Block: a.Model.Block,
+		PWCET12: a.PWCET12, PWCET15: a.PWCET15,
+	}
+}
+
+func resultOf(res *core.Result) *resultJSON {
+	if res == nil {
+		return nil
+	}
+	out := &resultJSON{
+		Name:     res.Name,
+		Runs:     len(res.Times),
+		HWM:      res.HWM(),
+		Mean:     res.Mean(),
+		IL1Miss:  res.IL1Miss,
+		DL1Miss:  res.DL1Miss,
+		L2Miss:   res.L2Miss,
+		Times:    res.Times,
+		Analysis: analysisOf(res.Analysis),
+	}
+	out.Trace.Accesses = res.Trace.Accesses
+	out.Trace.Fetches = res.Trace.Fetches
+	out.Trace.Loads = res.Trace.Loads
+	out.Trace.Stores = res.Trace.Stores
+	return out
+}
+
+func statusOf(j *Job) statusResponse {
+	state, runsDone, result, err, started, finished := j.Snapshot()
+	out := statusResponse{
+		ID:          j.ID,
+		Fingerprint: j.Fingerprint,
+		Request:     j.Wire,
+		State:       state.String(),
+		RunsDone:    runsDone,
+		Submitted:   j.Submitted,
+		Result:      resultOf(result),
+	}
+	if !started.IsZero() {
+		out.Started = &started
+	}
+	if !finished.IsZero() {
+		out.Finished = &finished
+	}
+	if err != nil {
+		out.Error = err.Error()
+	}
+	return out
+}
+
+// wireEvent is one NDJSON line of GET /v1/campaigns/{id}/events: the wire
+// form of a core.Event, plus the synthetic terminal line (kind "end",
+// with the job's final state).
+type wireEvent struct {
+	Kind     string  `json:"kind"` // "started", "run", "finished", "end"
+	Campaign string  `json:"campaign"`
+	Run      int     `json:"run,omitempty"`
+	Cycles   float64 `json:"cycles,omitempty"`
+	Done     int     `json:"done"`
+	Total    int     `json:"total,omitempty"`
+	State    string  `json:"state,omitempty"` // "end" lines only
+	Err      string  `json:"error,omitempty"`
+}
+
+func wireEventOf(ev core.Event) wireEvent {
+	out := wireEvent{
+		Kind:     ev.Kind.String(),
+		Campaign: ev.Campaign,
+		Run:      ev.Run,
+		Cycles:   ev.Cycles,
+		Done:     ev.Done,
+		Total:    ev.Total,
+	}
+	if ev.Err != nil {
+		out.Err = ev.Err.Error()
+	}
+	return out
+}
+
+// policyJSON is one row of GET /v1/policies.
+type policyJSON struct {
+	Name       string   `json:"name"`
+	Aliases    []string `json:"aliases,omitempty"`
+	Randomized bool     `json:"randomized"`
+}
+
+// workloadJSON is one row of GET /v1/workloads.
+type workloadJSON struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// healthJSON answers GET /healthz.
+type healthJSON struct {
+	Status        string     `json:"status"`
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	Workers       int        `json:"workers"`
+	JobSlots      int        `json:"job_slots"`
+	QueueDepth    int        `json:"queue_depth"`
+	QueueLen      int        `json:"queue_len"`
+	Jobs          jobCounts  `json:"jobs"`
+	Cache         StoreStats `json:"cache"`
+}
+
+// jobCounts breaks the resident jobs down by state.
+type jobCounts struct {
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+}

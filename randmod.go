@@ -40,6 +40,7 @@ package randmod
 
 import (
 	"context"
+	"io"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -91,6 +92,10 @@ type Workload = workload.Workload
 // Layout fixes the memory placement of a workload's objects.
 type Layout = workload.Layout
 
+// DefaultLayout returns the fixed memory layout campaigns use unless a
+// Request (or WireRequest) carries a Layout override.
+func DefaultLayout() Layout { return workload.DefaultLayout() }
+
 // Workloads returns all built-in workloads: the eleven EEMBC-Automotive-
 // like kernels and the paper's three synthetic footprints.
 func Workloads() []Workload { return workload.All() }
@@ -127,6 +132,25 @@ type (
 	Event     = core.Event
 	EventKind = core.EventKind
 )
+
+// WireRequest is the canonical JSON wire form of a Request -- the
+// submission format of the campaign service (cmd/rmserved): placement by
+// name, workload by name, runs/seed/layout fields. Its Fingerprint()
+// method is the content address the service caches results under: by the
+// determinism contract, equal fingerprints mean bit-identical Times, so
+// repeat submissions are served without re-running. WireLayout is the
+// JSON form of a Layout override.
+type (
+	WireRequest = core.WireRequest
+	WireLayout  = core.WireLayout
+)
+
+// DecodeWireRequest reads one JSON-encoded WireRequest (unknown fields
+// are rejected so typos fail loudly).
+func DecodeWireRequest(r io.Reader) (WireRequest, error) { return core.DecodeWireRequest(r) }
+
+// WireLayoutFrom converts a Layout to its JSON wire form.
+func WireLayoutFrom(l Layout) WireLayout { return core.WireLayoutFrom(l) }
 
 // Event kinds.
 const (

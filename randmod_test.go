@@ -3,6 +3,7 @@ package randmod
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 )
 
@@ -145,5 +146,36 @@ func TestPublicEngineSurface(t *testing.T) {
 	cancel()
 	if _, err := eng.Run(ctx, Request{Spec: PaperPlatform(RM), Workload: w, MasterSeed: 2}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled run returned %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestPublicWireCodec(t *testing.T) {
+	w, err := DecodeWireRequest(strings.NewReader(
+		`{"workload":"rspeed01","placement":"rm","runs":50,"seed":11}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1, err := w.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Name = "relabeled"
+	w.Placement = "RM"
+	fp2, err := w.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("fingerprint not canonical: %s vs %s", fp1, fp2)
+	}
+	req, err := w.Request()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Workload.Name != "rspeed01" || req.Runs != 50 || req.MasterSeed != 11 {
+		t.Fatalf("resolved request mismatch: %+v", req)
+	}
+	if got := WireLayoutFrom(DefaultLayout()).Layout(); got != DefaultLayout() {
+		t.Fatal("WireLayout round trip lost fields")
 	}
 }

@@ -1,0 +1,71 @@
+#!/bin/sh
+# Campaign service smoke: start rmserved on a random port, POST a short
+# RM campaign, poll it to completion, then assert the resubmission of the
+# same content is served from cache -- same fingerprint, no second Engine
+# execution (store misses stay at 1, hits reach 1).
+set -eu
+
+log=$(mktemp)
+bin=$(mktemp)
+go build -o "$bin" ./cmd/rmserved
+"$bin" -addr 127.0.0.1:0 -workers 2 >"$log" 2>&1 &
+srv=$!
+trap 'kill "$srv" 2>/dev/null || true; rm -f "$log" "$bin"' EXIT
+
+base=""
+i=0
+while [ $i -lt 100 ]; do
+  base=$(sed -n 's/.*listening on \(http:\/\/[0-9.:]*\).*/\1/p' "$log" | head -n 1)
+  if [ -n "$base" ] && curl -fsS "$base/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  base=""
+  sleep 0.2
+  i=$((i + 1))
+done
+if [ -z "$base" ]; then
+  echo "rmserved did not come up:" >&2
+  cat "$log" >&2
+  exit 1
+fi
+echo "rmserved up at $base"
+
+req='{"workload":"puwmod01","placement":"RM","runs":60,"seed":1}'
+r1=$(curl -fsS -X POST -d "$req" "$base/v1/campaigns")
+id=$(printf '%s' "$r1" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+fp1=$(printf '%s' "$r1" | sed -n 's/.*"fingerprint": *"\([^"]*\)".*/\1/p')
+[ -n "$id" ] && [ -n "$fp1" ] || { echo "bad submit response: $r1" >&2; exit 1; }
+echo "submitted $id fingerprint $fp1"
+
+state=""
+i=0
+while [ $i -lt 300 ]; do
+  status=$(curl -fsS "$base/v1/campaigns/$id")
+  state=$(printf '%s' "$status" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -n 1)
+  [ "$state" = "done" ] && break
+  if [ "$state" = "failed" ] || [ "$state" = "canceled" ]; then
+    echo "campaign ended in state $state: $status" >&2
+    exit 1
+  fi
+  sleep 0.2
+  i=$((i + 1))
+done
+[ "$state" = "done" ] || { echo "campaign did not finish (state=$state)" >&2; exit 1; }
+echo "campaign done"
+
+# Resubmit the identical content: must be served from cache with the
+# same fingerprint and without a fresh execution.
+r2=$(curl -fsS -X POST -d "$req" "$base/v1/campaigns")
+fp2=$(printf '%s' "$r2" | sed -n 's/.*"fingerprint": *"\([^"]*\)".*/\1/p')
+cached=$(printf '%s' "$r2" | sed -n 's/.*"cached": *\(true\|false\).*/\1/p')
+[ "$fp2" = "$fp1" ] || { echo "fingerprint changed: $fp1 -> $fp2" >&2; exit 1; }
+[ "$cached" = "true" ] || { echo "resubmission not served from cache: $r2" >&2; exit 1; }
+
+health=$(curl -fsS "$base/healthz")
+printf '%s' "$health" | grep -q '"misses": *1' || { echo "expected exactly one execution: $health" >&2; exit 1; }
+printf '%s' "$health" | grep -q '"hits": *1' || { echo "expected one cache hit: $health" >&2; exit 1; }
+echo "cached resubmission verified (1 miss, 1 hit)"
+
+kill "$srv"
+wait "$srv" 2>/dev/null || true
+echo "service smoke OK"
