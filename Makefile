@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race vet fmt lint verify smoke smoke-serve serve bench full-bench
+.PHONY: build test test-short race vet fmt lint verify smoke smoke-serve serve bench bench-hotpath bench-json full-bench
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,17 @@ serve:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -v .
+
+# Hot-path microbenchmarks: legacy per-access replay vs the compiled
+# index-plan path, per placement policy plus an end-to-end campaign pair.
+bench-hotpath:
+	$(GO) test -run='^$$' -bench=HotPath -benchtime=10x .
+
+# Short fixed-scale trajectory snapshot (per-campaign HWM/mean/pWCET and
+# wall time); regenerate and commit BENCH_PR4.json when touching the hot
+# path. CI runs this and uploads the JSON as an artifact.
+bench-json:
+	$(GO) run ./cmd/paperbench -short -json BENCH_PR4.json
 
 # Paper-scale regeneration (REPRO_WORKERS=N to size the engine pool).
 full-bench:

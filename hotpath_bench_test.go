@@ -1,0 +1,160 @@
+// Hot-path microbenchmarks: the per-run replay loop, legacy per-access
+// placement hashing vs the compiled index-plan path (PR 4), per placement
+// policy, plus an end-to-end MBPTA campaign pair. CI runs these with
+// -bench=HotPath -benchtime=1x as a smoke; run with a real -benchtime to
+// measure. The compiled path is bit-exact to the legacy one (see the
+// differential tests in internal/sim and internal/core), so the ratio of
+// the two numbers is pure throughput.
+package randmod
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/placement"
+	"repro/internal/prng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// hotPathSetup builds the paper platform for an L1 placement kind and the
+// trace of a representative EEMBC-like workload, both ready to replay.
+func hotPathSetup(b *testing.B, kind placement.Kind) (*sim.Core, trace.Trace, *trace.Compiled) {
+	b.Helper()
+	w, err := workload.ByName("tblook01")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := w.Build(workload.DefaultLayout())
+	spec := core.PlatformFor(kind)
+	p, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := trace.Compile(tr, spec.LineBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, tr, ct
+}
+
+// BenchmarkHotPathLegacy measures the pre-PR-4 per-run replay loop: one
+// placement-policy hash per access (plus a Benes walk for RM).
+func BenchmarkHotPathLegacy(b *testing.B) {
+	for _, kind := range placement.Kinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			p, tr, _ := hotPathSetup(b, kind)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Reseed(prng.Derive(0xBE7C4, i))
+				p.Run(tr)
+			}
+			b.ReportMetric(float64(len(tr)), "accesses/op")
+		})
+	}
+}
+
+// BenchmarkHotPathCompiled measures the compiled replay: per run, one
+// index plan per level over the trace's unique lines, then array lookups.
+func BenchmarkHotPathCompiled(b *testing.B) {
+	for _, kind := range placement.Kinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			p, _, ct := hotPathSetup(b, kind)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Reseed(prng.Derive(0xBE7C4, i))
+				p.RunCompiled(ct)
+			}
+			b.ReportMetric(float64(ct.Len()), "accesses/op")
+		})
+	}
+}
+
+// BenchmarkHotPathCampaignLegacy replays a whole MBPTA campaign through
+// the pre-PR-4 hot loop (sequential, legacy sim.Core.Run), the baseline
+// the PR's >= 1.5x throughput target is measured against.
+func BenchmarkHotPathCampaignLegacy(b *testing.B) {
+	p, tr, _ := hotPathSetup(b, placement.RM)
+	const runs = 40
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for run := 0; run < runs; run++ {
+			p.Reseed(prng.Derive(0x9A9E6, run))
+			p.Run(tr)
+		}
+	}
+	b.ReportMetric(float64(runs*len(tr)), "accesses/op")
+}
+
+// BenchmarkHotPathBaselineLegacy replays the deterministic HWM baseline
+// protocol (per-run randomized layout, trace rebuilt every run) through
+// the pre-PR-4 loop. Unlike MBPTA there is no build-once amortization,
+// so this pair documents that routing baselines through the compiled
+// path is at worst a wash: the per-run trace build dominates.
+func BenchmarkHotPathBaselineLegacy(b *testing.B) {
+	w, err := workload.ByName("tblook01")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := core.PlatformFor(placement.Modulo)
+	p, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const runs = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for run := 0; run < runs; run++ {
+			seed := prng.Derive(0x9A9E6^0xDE7, run)
+			layout := workload.RandomizedLayout(prng.New(seed))
+			p.Reseed(seed)
+			p.Run(w.Build(layout))
+		}
+	}
+}
+
+// BenchmarkHotPathBaselineCompiled is the same baseline campaign through
+// the Engine, which compiles each per-run trace before replaying it.
+func BenchmarkHotPathBaselineCompiled(b *testing.B) {
+	w, err := workload.ByName("tblook01")
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := core.NewEngine(core.WithWorkers(1))
+	req := core.Request{
+		Spec: core.PlatformFor(placement.Modulo), Workload: w,
+		Runs: 10, MasterSeed: 0x9A9E6, Baseline: true,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotPathCampaignCompiled runs the same campaign through the
+// Engine, which routes every run over the compiled path; workers are
+// pinned to 1 so the ratio to the legacy number isolates the hot-loop
+// speedup from parallelism.
+func BenchmarkHotPathCampaignCompiled(b *testing.B) {
+	w, err := workload.ByName("tblook01")
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := core.NewEngine(core.WithWorkers(1))
+	req := core.Request{
+		Spec: core.PlatformFor(placement.RM), Workload: w,
+		Runs: 40, MasterSeed: 0x9A9E6,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Run(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(req.Runs*res.Trace.Accesses), "accesses/op")
+	}
+}

@@ -12,6 +12,7 @@ package cache
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/bits"
 
 	"repro/internal/placement"
@@ -187,7 +188,7 @@ func NewWithPolicy(cfg Config, pol placement.Policy) (*Cache, error) {
 		offBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
 		lines:   make([]line, cfg.Sets()*cfg.Ways),
 		repl:    cfg.Replacement,
-		rng:     prng.New(0),
+		rng:     prng.New(initialStream(cfg.Name)),
 	}
 	switch cfg.Replacement {
 	case LRU, FIFO:
@@ -203,6 +204,21 @@ func NewWithPolicy(cfg Config, pol placement.Policy) (*Cache, error) {
 		return nil, fmt.Errorf("cache %s: unknown replacement %d", cfg.Name, int(cfg.Replacement))
 	}
 	return c, nil
+}
+
+// initialStream seeds the pre-Reseed replacement RNG from the level's
+// configured name (FNV-1a over cfg.Name). Seeding every level with the
+// same constant would hand all un-reseeded Random-replacement levels
+// (IL1/DL1/L2) one identical victim stream and therefore correlated
+// evictions; deriving per name keeps fresh distinctly-named levels
+// independent (same-named caches — e.g. the IL1s of a multi-core
+// System — still coincide until their Reseed, the documented run
+// protocol). Reseed overwrites this state entirely, so every
+// post-Reseed sequence is unchanged.
+func initialStream(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
 }
 
 // Config returns the level configuration.
@@ -274,10 +290,29 @@ func (c *Cache) Read(addr uint64) Result { return c.access(addr, false) }
 // WriteBack the line is allocated on miss (if AllocOnWrite) and dirtied.
 func (c *Cache) Write(addr uint64) Result { return c.access(addr, true) }
 
+// ReadLine is Read for a line address with a precomputed set index: the
+// compiled campaign hot path, where the placement policy was consulted
+// once per unique line at reseed time (an index plan, placement.IndexAll)
+// instead of once per access. set must equal Policy().Index(la) under the
+// current seed; behaviour, counters and replacement-RNG draws are then
+// bit-identical to Read(la << offBits).
+func (c *Cache) ReadLine(la uint64, set uint32) Result {
+	return c.accessLine(la, int(set), false)
+}
+
+// WriteLine is Write for a line address with a precomputed set index; see
+// ReadLine for the contract.
+func (c *Cache) WriteLine(la uint64, set uint32) Result {
+	return c.accessLine(la, int(set), true)
+}
+
 func (c *Cache) access(addr uint64, isWrite bool) Result {
-	c.stats.Accesses++
 	la := c.LineAddr(addr)
-	set := int(c.pol.Index(la))
+	return c.accessLine(la, int(c.pol.Index(la)), isWrite)
+}
+
+func (c *Cache) accessLine(la uint64, set int, isWrite bool) Result {
+	c.stats.Accesses++
 	base := set * c.ways
 
 	for w := 0; w < c.ways; w++ {

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/placement"
+	"repro/internal/prng"
+	"repro/internal/workload"
+)
+
+// legacyCampaign replays the pre-compiled-path MBPTA protocol with the
+// legacy per-access loop — sequentially, one platform, sim.Core.Run — and
+// returns the reference Times and Levels the Runner must reproduce
+// bit-for-bit now that it routes runs through RunCompiled.
+func legacyCampaign(t *testing.T, spec PlatformSpec, w workload.Workload, runs int, seed uint64) ([]float64, LevelStats) {
+	t.Helper()
+	p, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Build(workload.DefaultLayout())
+	times := make([]float64, runs)
+	var levels LevelStats
+	for run := 0; run < runs; run++ {
+		p.Reseed(prng.Derive(seed, run))
+		r := p.Run(tr)
+		times[run] = float64(r.Cycles)
+		levels.add(r)
+	}
+	return times, levels
+}
+
+// legacyBaseline replays the pre-compiled-path HWM protocol with the
+// legacy loop (per-run randomized layout, sim.Core.Run).
+func legacyBaseline(t *testing.T, spec PlatformSpec, w workload.Workload, runs int, seed uint64) []float64 {
+	t.Helper()
+	p, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := make([]float64, runs)
+	for run := 0; run < runs; run++ {
+		s := prng.Derive(seed^hwmSeedTag, run)
+		layout := workload.RandomizedLayout(prng.New(s))
+		p.Reseed(s)
+		times[run] = float64(p.Run(w.Build(layout)).Cycles)
+	}
+	return times
+}
+
+// TestEngineRunMatchesLegacyHotLoop is the engine-level differential
+// test of the compiled campaign path: for every placement kind and every
+// replacement policy, Engine.Run at workers 1 and 4 must reproduce the
+// legacy per-access hot loop bit-for-bit — same Times, same summed
+// per-level Stats — for both MBPTA and baseline protocols.
+func TestEngineRunMatchesLegacyHotLoop(t *testing.T) {
+	w, err := workload.ByName("bitmnp01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 12
+	for _, pk := range placement.Kinds() {
+		for _, rk := range []cache.ReplacementKind{cache.LRU, cache.Random, cache.FIFO, cache.PLRU} {
+			spec := PaperPlatform(pk)
+			spec.IL1.Replacement, spec.DL1.Replacement, spec.L2.Replacement = rk, rk, rk
+			seed := uint64(0xBEEF) ^ uint64(pk)<<8 ^ uint64(rk)
+			wantTimes, wantLevels := legacyCampaign(t, spec, w, runs, seed)
+			wantBase := legacyBaseline(t, spec, w, runs, seed)
+
+			for _, workers := range []int{1, 4} {
+				eng := NewEngine(WithWorkers(workers))
+				res, err := eng.Run(context.Background(), Request{
+					Spec: spec, Workload: w, Runs: runs, MasterSeed: seed,
+				})
+				if err != nil {
+					t.Fatalf("%v/%v workers=%d: %v", pk, rk, workers, err)
+				}
+				for i := range wantTimes {
+					if res.Times[i] != wantTimes[i] {
+						t.Fatalf("%v/%v workers=%d: Times[%d] = %v, legacy hot loop %v",
+							pk, rk, workers, i, res.Times[i], wantTimes[i])
+					}
+				}
+				if res.Levels != wantLevels {
+					t.Fatalf("%v/%v workers=%d: Levels = %+v, legacy %+v",
+						pk, rk, workers, res.Levels, wantLevels)
+				}
+
+				base, err := eng.Run(context.Background(), Request{
+					Spec: spec, Workload: w, Runs: runs, MasterSeed: seed, Baseline: true,
+				})
+				if err != nil {
+					t.Fatalf("%v/%v workers=%d baseline: %v", pk, rk, workers, err)
+				}
+				for i := range wantBase {
+					if base.Times[i] != wantBase[i] {
+						t.Fatalf("%v/%v workers=%d: baseline Times[%d] = %v, legacy %v",
+							pk, rk, workers, i, base.Times[i], wantBase[i])
+					}
+				}
+			}
+		}
+	}
+}

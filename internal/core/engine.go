@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/prng"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -195,6 +196,16 @@ func (r *Runner) run(ctx context.Context, index int, req Request) (Result, error
 			// any randomized policy in Spec becomes a pure function of the
 			// run index instead of carrying PRNG state across runs.
 			p.Reseed(seed)
+			// The baseline rebuilds its trace per run, so the compiled form
+			// is rebuilt per run too (unlike MBPTA's build-once; measured a
+			// wash even for the cheap modulo+LRU spec, since the trace build
+			// dominates — see BenchmarkHotPathBaseline*). Replays are
+			// bit-identical to p.Run(tr) by RunCompiled's contract.
+			if p.SupportsCompiled(req.Spec.LineBytes) {
+				if ct, err := trace.Compile(tr, req.Spec.LineBytes); err == nil {
+					return p.RunCompiled(ct), nil
+				}
+			}
 			return p.Run(tr), nil
 		}
 	} else {
@@ -202,13 +213,20 @@ func (r *Runner) run(ctx context.Context, index int, req Request) (Result, error
 		if req.Layout != nil {
 			layout = *req.Layout
 		}
-		// The one-time trace build runs under a pool slot too: a large
-		// RunBatch spawns one goroutine per request, and without the gate
-		// they would all build concurrently regardless of the pool size.
+		// The one-time trace build (and its compilation) runs under a pool
+		// slot too: a large RunBatch spawns one goroutine per request, and
+		// without the gate they would all build concurrently regardless of
+		// the pool size.
 		if err := r.pool().acquire(ctx); err != nil {
 			return finish(fmt.Errorf("core: campaign %s aborted before any runs: %w", res.Name, err))
 		}
 		tr := req.Workload.Build(layout)
+		// Compile once per campaign: the trace is fixed while only seeds
+		// change, so all workers share one read-only Compiled and each run
+		// materializes its index plans from it (the campaign hot path).
+		// A nil ct (odd line size) falls back to the legacy per-access
+		// path, which is bit-identical by contract.
+		ct, _ := trace.Compile(tr, req.Spec.LineBytes)
 		r.pool().release()
 		if len(tr) == 0 {
 			return finish(fmt.Errorf("core: workload %s built an empty trace", req.Workload.Name))
@@ -218,6 +236,9 @@ func (r *Runner) run(ctx context.Context, index int, req Request) (Result, error
 		res.Trace.Fetches, res.Trace.Loads, res.Trace.Stores = f, l, st
 		do = func(p *sim.Core, run int) (sim.Result, error) {
 			p.Reseed(prng.Derive(req.MasterSeed, run))
+			if ct != nil && p.SupportsCompiled(ct.LineBytes) {
+				return p.RunCompiled(ct), nil
+			}
 			return p.Run(tr), nil
 		}
 	}

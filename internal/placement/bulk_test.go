@@ -1,0 +1,88 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+// TestIndexAllMatchesIndex pins the index-plan primitive's contract: for
+// every built-in policy, set count and seed, IndexAll fills exactly the
+// values Index returns line by line — including interleavings with
+// scalar Index calls, which must not perturb the bulk results (the RM
+// memo is shared state).
+func TestIndexAllMatchesIndex(t *testing.T) {
+	for _, k := range Kinds() {
+		for _, sets := range []int{2, 8, 128, 256} {
+			p, err := New(k, sets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := uint64(0); seed < 5; seed++ {
+				p.Reseed(seed)
+				g := prng.New(seed ^ 0xB0B)
+				lines := make([]uint64, 500)
+				for i := range lines {
+					// Mix clustered lines (same segment, the common case for
+					// first-touch tables) with far-flung ones.
+					if i%4 == 0 {
+						lines[i] = g.Bits(40)
+					} else {
+						lines[i] = lines[max(i-1, 0)] + g.Bits(3)
+					}
+				}
+				out := make([]uint32, len(lines))
+				IndexAll(p, lines, out)
+				for i, line := range lines {
+					if want := p.Index(line); out[i] != want {
+						t.Fatalf("%v sets=%d seed=%d: IndexAll[%d]=%d, Index(%#x)=%d",
+							k, sets, seed, i, out[i], line, want)
+					}
+				}
+				// A second bulk pass after the scalar sweep must agree too.
+				out2 := make([]uint32, len(lines))
+				IndexAll(p, lines, out2)
+				for i := range out {
+					if out[i] != out2[i] {
+						t.Fatalf("%v sets=%d seed=%d: IndexAll not idempotent at %d", k, sets, seed, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// fallbackPolicy hides the bulk fast path to exercise IndexAll's generic
+// branch.
+type fallbackPolicy struct{ Policy }
+
+func TestIndexAllFallback(t *testing.T) {
+	p, err := New(RM, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Reseed(9)
+	lines := []uint64{0, 1, 63, 64, 1 << 20, 1<<20 + 1}
+	fast := make([]uint32, len(lines))
+	slow := make([]uint32, len(lines))
+	IndexAll(p, lines, fast)
+	IndexAll(fallbackPolicy{p}, lines, slow)
+	for i := range fast {
+		if fast[i] != slow[i] {
+			t.Fatalf("fast path disagrees with generic fallback at %d: %d vs %d", i, fast[i], slow[i])
+		}
+	}
+}
+
+func TestIndexAllLengthMismatchPanics(t *testing.T) {
+	p, err := New(Modulo, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch not detected")
+		}
+	}()
+	IndexAll(p, make([]uint64, 3), make([]uint32, 2))
+}

@@ -151,6 +151,34 @@ func indexBits(sets int) (uint, error) {
 // cache way and are the subject of RM's no-conflict guarantee.
 func SegmentOf(line uint64, idxBits uint) uint64 { return line >> idxBits }
 
+// bulkIndexer is the optional fast path behind IndexAll: built-in
+// policies implement it to map a whole slice of lines without the
+// per-call interface dispatch (and, for RM, without re-deriving the Benes
+// control word for every line of a segment).
+type bulkIndexer interface {
+	indexAll(lines []uint64, out []uint32)
+}
+
+// IndexAll maps every line address in lines to its set index under the
+// policy's current seed, writing the results into out (which must have
+// the same length). Results are bit-identical to calling p.Index on each
+// line in order; the built-in policies merely do it faster. This is the
+// campaign "index plan" primitive: each Reseed, one IndexAll per cache
+// level over the trace's unique lines replaces per-access hashing for the
+// whole run (see sim.Core.RunCompiled).
+func IndexAll(p Policy, lines []uint64, out []uint32) {
+	if len(lines) != len(out) {
+		panic(fmt.Sprintf("placement: IndexAll length mismatch: %d lines, %d out", len(lines), len(out)))
+	}
+	if b, ok := p.(bulkIndexer); ok {
+		b.indexAll(lines, out)
+		return
+	}
+	for i, line := range lines {
+		out[i] = p.Index(line)
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Modulo
 
@@ -174,6 +202,16 @@ func (p *moduloPolicy) Index(line uint64) uint32 { return uint32(line & p.mask) 
 func (p *moduloPolicy) Reseed(uint64)            {}
 func (p *moduloPolicy) Randomized() bool         { return false }
 func (p *moduloPolicy) NeedsIndexInTag() bool    { return false }
+
+// indexAll and its siblings below call Index on the concrete receiver:
+// one hash body per policy stays the single source of truth, and the
+// bulk entry point only sheds the per-line interface dispatch (RM's
+// variant additionally hoists the control-word derivation).
+func (p *moduloPolicy) indexAll(lines []uint64, out []uint32) {
+	for i, line := range lines {
+		out[i] = p.Index(line)
+	}
+}
 
 // ---------------------------------------------------------------------------
 // XORFold
@@ -213,6 +251,12 @@ func (p *xorFoldPolicy) Index(line uint64) uint32 {
 func (p *xorFoldPolicy) Reseed(uint64)         {}
 func (p *xorFoldPolicy) Randomized() bool      { return false }
 func (p *xorFoldPolicy) NeedsIndexInTag() bool { return true }
+
+func (p *xorFoldPolicy) indexAll(lines []uint64, out []uint32) {
+	for i, line := range lines {
+		out[i] = p.Index(line)
+	}
+}
 
 // ---------------------------------------------------------------------------
 // hRP
@@ -293,6 +337,12 @@ func (p *hrpPolicy) Index(line uint64) uint32 {
 
 func (p *hrpPolicy) Randomized() bool      { return true }
 func (p *hrpPolicy) NeedsIndexInTag() bool { return true }
+
+func (p *hrpPolicy) indexAll(lines []uint64, out []uint32) {
+	for i, line := range lines {
+		out[i] = p.Index(line)
+	}
+}
 
 // ---------------------------------------------------------------------------
 // RM
@@ -403,6 +453,27 @@ func (p *rmPolicy) Index(line uint64) uint32 {
 func (p *rmPolicy) Randomized() bool      { return true }
 func (p *rmPolicy) NeedsIndexInTag() bool { return false }
 
+// indexAll derives the Benes control word once per segment run instead of
+// per line: unique-line tables arrive in first-touch order, so lines of
+// the same segment cluster and the control fold amortizes away. The
+// per-line permutation is the same PermuteBits walk as Index, so results
+// are bit-identical (control is a pure function of the segment; the
+// direct-mapped Index memo is left untouched).
+func (p *rmPolicy) indexAll(lines []uint64, out []uint32) {
+	var (
+		lastSeg  uint64
+		lastCtrl uint64
+		haveSeg  bool
+	)
+	for i, line := range lines {
+		seg := line >> p.idxBits
+		if !haveSeg || seg != lastSeg {
+			lastSeg, lastCtrl, haveSeg = seg, p.control(seg), true
+		}
+		out[i] = uint32(p.net.PermuteBits(lastCtrl, line&p.idxMask))
+	}
+}
+
 // ControlBits returns the number of Benes control bits of an RM policy,
 // for hardware-cost accounting; it returns 0 for other policies.
 func ControlBits(p Policy) int {
@@ -463,3 +534,9 @@ func (p *rmRotPolicy) Index(line uint64) uint32 {
 
 func (p *rmRotPolicy) Randomized() bool      { return true }
 func (p *rmRotPolicy) NeedsIndexInTag() bool { return false }
+
+func (p *rmRotPolicy) indexAll(lines []uint64, out []uint32) {
+	for i, line := range lines {
+		out[i] = p.Index(line)
+	}
+}

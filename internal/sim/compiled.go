@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/placement"
+	"repro/internal/trace"
+)
+
+// indexPlan holds the per-run set-index lookup tables of a compiled run:
+// one dense []uint32 per (cache level, line stream), materialized by
+// placement.IndexAll right after a reseed fixes the mappings. The slices
+// live on the Core and are reused across runs, so a campaign's steady
+// state allocates nothing per run.
+type indexPlan struct {
+	il1 []uint32 // IL1 set per instruction line ID
+	dl1 []uint32 // DL1 set per data line ID
+	l2i []uint32 // L2 set per instruction line ID
+	l2d []uint32 // L2 set per data line ID
+}
+
+func planSlot(buf []uint32, n int) []uint32 {
+	if cap(buf) < n {
+		return make([]uint32, n)
+	}
+	return buf[:n]
+}
+
+// SupportsCompiled reports whether compiled traces of the given line size
+// can replay on this core: RunCompiled bypasses each level's LineAddr, so
+// every level must share the compiled line size. Platforms built from a
+// single sim.Config always do.
+func (c *Core) SupportsCompiled(lineBytes int) bool {
+	return c.il1.Config().LineBytes == lineBytes &&
+		c.dl1.Config().LineBytes == lineBytes &&
+		c.l2.Config().LineBytes == lineBytes
+}
+
+// RunCompiled executes a compiled trace to completion: identical cache
+// state transitions, cycle counts, per-level statistics and
+// replacement-RNG draws as Run on the source trace — the legacy Run stays
+// as the differential oracle — but with the per-access placement hashing
+// hoisted out of the loop. Callers fix the run's mapping first (Reseed or
+// Flush, as with Run); RunCompiled then materializes one index plan per
+// level over the trace's unique lines and replays with array lookups.
+//
+// This is the MBPTA campaign hot path: a campaign replays the same
+// Compiled hundreds of times (it is immutable and shared across worker
+// cores) while only the seeds change, so per run the placement policies
+// are consulted once per unique line instead of once per access.
+//
+// RunCompiled panics if the compiled line size does not match every
+// level (see SupportsCompiled).
+func (c *Core) RunCompiled(ct *trace.Compiled) Result {
+	if !c.SupportsCompiled(ct.LineBytes) {
+		panic(fmt.Sprintf("sim: RunCompiled: compiled line size %dB does not match all cache levels", ct.LineBytes))
+	}
+	c.plan.il1 = planSlot(c.plan.il1, len(ct.ILines))
+	c.plan.dl1 = planSlot(c.plan.dl1, len(ct.DLines))
+	c.plan.l2i = planSlot(c.plan.l2i, len(ct.ILines))
+	c.plan.l2d = planSlot(c.plan.l2d, len(ct.DLines))
+	placement.IndexAll(c.il1.Policy(), ct.ILines, c.plan.il1)
+	placement.IndexAll(c.dl1.Policy(), ct.DLines, c.plan.dl1)
+	placement.IndexAll(c.l2.Policy(), ct.ILines, c.plan.l2i)
+	placement.IndexAll(c.l2.Policy(), ct.DLines, c.plan.l2d)
+
+	il1Before, dl1Before, l2Before := c.il1.Stats(), c.dl1.Stats(), c.l2.Stats()
+	var cycles uint64
+	lat := c.lat
+	for _, op := range ct.Ops {
+		switch op.Kind {
+		case trace.Fetch:
+			cycles += lat.L1Hit
+			la := ct.ILines[op.ID]
+			if !c.il1.ReadLine(la, c.plan.il1[op.ID]).Hit {
+				cycles += c.l2ReadLine(la, c.plan.l2i[op.ID])
+			}
+		case trace.Load:
+			cycles += lat.L1Hit
+			la := ct.DLines[op.ID]
+			if !c.dl1.ReadLine(la, c.plan.dl1[op.ID]).Hit {
+				cycles += c.l2ReadLine(la, c.plan.l2d[op.ID])
+			}
+		default: // Store
+			cycles += lat.L1Hit + lat.StoreBus
+			la := ct.DLines[op.ID]
+			c.dl1.WriteLine(la, c.plan.dl1[op.ID]) // write-through: updates line if present
+			r := c.l2.WriteLine(la, c.plan.l2d[op.ID])
+			if !r.Hit && r.Filled {
+				cycles += lat.Memory // write-allocate fill
+			}
+			if r.Writeback {
+				cycles += lat.Writeback
+			}
+		}
+	}
+	return Result{
+		Cycles:   cycles,
+		Accesses: len(ct.Ops),
+		IL1:      diffStats(il1Before, c.il1.Stats()),
+		DL1:      diffStats(dl1Before, c.dl1.Stats()),
+		L2:       diffStats(l2Before, c.l2.Stats()),
+	}
+}
+
+// l2ReadLine is l2Read with a precomputed L2 set index.
+func (c *Core) l2ReadLine(la uint64, set uint32) uint64 {
+	cycles := c.lat.L2Hit
+	r := c.l2.ReadLine(la, set)
+	if !r.Hit {
+		cycles += c.lat.Memory
+	}
+	if r.Writeback {
+		cycles += c.lat.Writeback
+	}
+	return cycles
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/placement"
+	"repro/internal/prng"
+	"repro/internal/trace"
+)
+
+// mixedTrace builds a trace with code, strided data, random data and
+// stores — enough pressure that every level misses, evicts and (for the
+// write-back L2) writes back.
+func mixedTrace(seed uint64, n int) trace.Trace {
+	g := prng.New(seed)
+	b := trace.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		switch g.Intn(4) {
+		case 0:
+			b.Fetch(0x40_0000 + g.Bits(15))
+		case 1:
+			b.Load(uint64(i*32) % (48 * 1024))
+		case 2:
+			b.Load(0x100_0000 + g.Bits(18))
+		default:
+			b.Store(0x200_0000 + g.Bits(17))
+		}
+	}
+	return b.Trace()
+}
+
+// TestRunCompiledBitExact is the differential property test of the
+// compiled execution path: for every placement kind × replacement policy
+// × L1/L2 write-policy arrangement, RunCompiled must reproduce the legacy
+// Run bit-for-bit — cycles, per-level hit/miss/eviction/writeback
+// counters, and (via the shared RNG state) every subsequent run too.
+func TestRunCompiledBitExact(t *testing.T) {
+	type writeSetup struct {
+		name    string
+		l1Write cache.WritePolicy
+		l1Alloc bool
+		l2Write cache.WritePolicy
+	}
+	writes := []writeSetup{
+		{"wt-noalloc/wb", cache.WriteThrough, false, cache.WriteBack},
+		{"wt-alloc/wb", cache.WriteThrough, true, cache.WriteBack},
+		{"wb/wt", cache.WriteBack, false, cache.WriteThrough},
+	}
+	for _, pk := range placement.Kinds() {
+		for _, rk := range []cache.ReplacementKind{cache.LRU, cache.Random, cache.FIFO, cache.PLRU} {
+			for _, ws := range writes {
+				cfg := paperConfig(pk)
+				cfg.IL1.Replacement, cfg.DL1.Replacement, cfg.L2.Replacement = rk, rk, rk
+				cfg.DL1.Write, cfg.DL1.AllocOnWrite = ws.l1Write, ws.l1Alloc
+				cfg.L2.Write = ws.l2Write
+
+				legacy, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				compiled, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr := mixedTrace(0xD1FF, 30000)
+				ct, err := trace.Compile(tr, cfg.IL1.LineBytes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for run := 0; run < 3; run++ {
+					seed := prng.Derive(42, run)
+					legacy.Reseed(seed)
+					compiled.Reseed(seed)
+					want := legacy.Run(tr)
+					got := compiled.RunCompiled(ct)
+					if got != want {
+						t.Fatalf("%v/%v/%s run %d: compiled %+v, legacy %+v",
+							pk, rk, ws.name, run, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunCompiledSharedAcrossCores checks the campaign usage pattern: one
+// immutable Compiled replayed on several cores stays bit-exact for each.
+func TestRunCompiledSharedAcrossCores(t *testing.T) {
+	cfg := paperConfig(placement.RM)
+	tr := mixedTrace(7, 20000)
+	ct, err := trace.Compile(tr, cfg.IL1.LineBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for core := 0; core < 3; core++ {
+		legacy, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compiled, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := prng.Derive(9, core)
+		legacy.Reseed(seed)
+		compiled.Reseed(seed)
+		if got, want := compiled.RunCompiled(ct), legacy.Run(tr); got != want {
+			t.Fatalf("core %d: compiled %+v, legacy %+v", core, got, want)
+		}
+	}
+}
+
+func TestRunCompiledRejectsLineSizeMismatch(t *testing.T) {
+	c, err := New(paperConfig(placement.RM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.SupportsCompiled(32) || c.SupportsCompiled(64) {
+		t.Fatal("SupportsCompiled wrong for the paper platform (32B lines)")
+	}
+	ct, err := trace.Compile(mixedTrace(1, 10), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("line-size mismatch not rejected")
+		}
+	}()
+	c.RunCompiled(ct)
+}
+
+func BenchmarkRunLegacy(b *testing.B) { benchRun(b, false) }
+
+func BenchmarkRunCompiled(b *testing.B) { benchRun(b, true) }
+
+func benchRun(b *testing.B, compiled bool) {
+	cfg := paperConfig(placement.RM)
+	c, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := mixedTrace(3, 200000)
+	ct, err := trace.Compile(tr, cfg.IL1.LineBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Reseed(prng.Derive(5, i))
+		if compiled {
+			c.RunCompiled(ct)
+		} else {
+			c.Run(tr)
+		}
+	}
+	b.ReportMetric(float64(len(tr)), "accesses/op")
+}

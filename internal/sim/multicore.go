@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/cache"
 	"repro/internal/trace"
 )
 
@@ -24,10 +25,11 @@ func NewSystem(cfg Config, n int) (*System, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("sim: system needs at least one core, got %d", n)
 	}
-	s := &System{lat: cfg.Lat}
-	if s.lat == (Latencies{}) {
-		s.lat = DefaultLatencies()
+	lat, err := cfg.Lat.Normalize()
+	if err != nil {
+		return nil, err
 	}
+	s := &System{lat: lat}
 	s.busService = s.lat.Memory / 2 // transfer slot; the rest is DRAM latency
 	if s.busService == 0 {
 		s.busService = 1
@@ -53,7 +55,10 @@ func (s *System) Reseed(runSeed uint64) {
 }
 
 // RunAll executes one trace per core concurrently under the shared-bus
-// model and returns per-core results. Cores with a nil trace idle.
+// model and returns per-core results. Cores with a nil trace idle. As
+// with Core.Run, each Result reports this call only: per-level counters
+// are diffed against snapshots taken on entry, so repeated RunAll calls
+// (or interleaved Core.Run calls) never double-count.
 //
 // The model is event-driven: each core retires accesses in order; accesses
 // that need a memory transaction (L2 miss or L2 writeback) must win the
@@ -69,6 +74,15 @@ func (s *System) RunAll(traces []trace.Trace) []Result {
 	results := make([]Result, n)
 	clocks := make([]uint64, n) // core-local completion time
 	pos := make([]int, n)       // next access index per core
+	// Per-call counters are diffs against these snapshots, matching
+	// Core.Run: a second RunAll on the same System (or a prior Core.Run)
+	// must not leak its accesses/misses into this call's Results.
+	type levelSnap struct{ il1, dl1, l2 cache.Stats }
+	before := make([]levelSnap, n)
+	for i, c := range s.cores {
+		il1, dl1, l2 := c.Caches()
+		before[i] = levelSnap{il1.Stats(), dl1.Stats(), l2.Stats()}
+	}
 	var busFreeAt uint64
 	lastGrant := n - 1
 
@@ -111,9 +125,9 @@ func (s *System) RunAll(traces []trace.Trace) []Result {
 	for i, c := range s.cores {
 		results[i].Cycles = clocks[i]
 		il1, dl1, l2 := c.Caches()
-		results[i].IL1 = il1.Stats()
-		results[i].DL1 = dl1.Stats()
-		results[i].L2 = l2.Stats()
+		results[i].IL1 = diffStats(before[i].il1, il1.Stats())
+		results[i].DL1 = diffStats(before[i].dl1, dl1.Stats())
+		results[i].L2 = diffStats(before[i].l2, l2.Stats())
 	}
 	return results
 }

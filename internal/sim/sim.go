@@ -32,6 +32,33 @@ func DefaultLatencies() Latencies {
 	return Latencies{L1Hit: 1, L2Hit: 8, Memory: 28, StoreBus: 2, Writeback: 6}
 }
 
+// Validate reports whether a non-zero latency set can drive the platform
+// models. Memory must be at least one cycle: the shared-bus model carves
+// its transfer slot out of it (busService = max(1, Memory/2)), so a zero
+// memory latency would make Memory - busService wrap uint64 and charge
+// absurd cycle counts. The other charges may legitimately be zero.
+func (l Latencies) Validate() error {
+	if l.Memory == 0 {
+		return fmt.Errorf("sim: Memory latency must be at least 1 cycle (a fully zero Latencies selects DefaultLatencies)")
+	}
+	return nil
+}
+
+// Normalize resolves the latency set the platform constructors install:
+// the zero value selects DefaultLatencies (the legacy convention), any
+// partially-specified value must pass Validate. New and NewSystem apply
+// this, so a struct with some fields set and Memory left at zero is a
+// construction error instead of a uint64 underflow at run time.
+func (l Latencies) Normalize() (Latencies, error) {
+	if l == (Latencies{}) {
+		return DefaultLatencies(), nil
+	}
+	if err := l.Validate(); err != nil {
+		return Latencies{}, err
+	}
+	return l, nil
+}
+
 // Config assembles a single-core platform.
 type Config struct {
 	IL1, DL1, L2 cache.Config
@@ -60,6 +87,10 @@ func (r Result) IPA() float64 {
 type Core struct {
 	il1, dl1, l2 *cache.Cache
 	lat          Latencies
+
+	// plan is the reusable per-run index-plan scratch of the compiled
+	// execution path (see RunCompiled).
+	plan indexPlan
 }
 
 // New builds the platform. The L2 configuration describes this core's
@@ -78,9 +109,9 @@ func New(cfg Config) (*Core, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: L2: %w", err)
 	}
-	lat := cfg.Lat
-	if lat == (Latencies{}) {
-		lat = DefaultLatencies()
+	lat, err := cfg.Lat.Normalize()
+	if err != nil {
+		return nil, err
 	}
 	return &Core{il1: il1, dl1: dl1, l2: l2, lat: lat}, nil
 }

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Op is one access of a compiled trace: the access kind plus the dense
+// line ID of the touched cache line within its stream's line table
+// (ILines for fetches, DLines for loads and stores).
+type Op struct {
+	ID   uint32
+	Kind Kind
+}
+
+// Compiled is the dense replay form of a Trace for a fixed cache-line
+// size: every access carries a stream-local line ID instead of a byte
+// address, and the unique line addresses live in two side tables (one per
+// stream: the instruction stream feeding IL1 and, on misses, the L2; the
+// data stream feeding DL1 and the L2).
+//
+// The point of the renumbering is the MBPTA campaign hot loop: a campaign
+// replays the same trace hundreds of times while only the placement seed
+// changes, and each reseed fixes the line-to-set mapping for the whole
+// run. With dense IDs a run can materialize its entire mapping up front
+// as one []uint32 lookup table per cache level (an "index plan", see
+// placement.IndexAll and sim.Core.RunCompiled) and replay with two array
+// loads per access instead of a per-access placement hash.
+//
+// A Compiled is immutable after Compile and safe to share across
+// concurrently executing runs.
+type Compiled struct {
+	Ops    []Op
+	ILines []uint64 // unique instruction-stream line addresses, in first-touch order
+	DLines []uint64 // unique data-stream line addresses, in first-touch order
+
+	// LineBytes is the line size the byte addresses were compiled against.
+	// Replaying on a level with a different line size would mis-partition
+	// accesses into lines, so executors must reject a mismatch.
+	LineBytes int
+}
+
+// Len returns the number of accesses.
+func (c *Compiled) Len() int { return len(c.Ops) }
+
+// Compile renumbers the trace's unique cache-line addresses into dense
+// per-stream line IDs for the given line size. lineBytes must be a power
+// of two >= 1. The result decompiles exactly: for every op,
+// ILines[op.ID] (or DLines[op.ID]) equals the original access address
+// shifted by log2(lineBytes).
+func Compile(t Trace, lineBytes int) (*Compiled, error) {
+	if lineBytes < 1 || lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("trace: compile needs a power-of-two line size, got %d", lineBytes)
+	}
+	shift := uint(bits.TrailingZeros(uint(lineBytes)))
+	c := &Compiled{
+		Ops:       make([]Op, 0, len(t)),
+		LineBytes: lineBytes,
+	}
+	// Programs revisit lines constantly, so the unique-line tables are far
+	// smaller than the trace; a modest initial capacity avoids most map
+	// growth without overcommitting for tiny traces.
+	imap := make(map[uint64]uint32, 64)
+	dmap := make(map[uint64]uint32, 64)
+	for _, a := range t {
+		la := a.Addr >> shift
+		var (
+			m     map[uint64]uint32
+			table *[]uint64
+		)
+		if a.Kind == Fetch {
+			m, table = imap, &c.ILines
+		} else {
+			m, table = dmap, &c.DLines
+		}
+		id, ok := m[la]
+		if !ok {
+			if uint64(len(*table)) > math.MaxUint32 {
+				return nil, fmt.Errorf("trace: compile overflows 32-bit line IDs (%d unique lines)", len(*table))
+			}
+			id = uint32(len(*table))
+			m[la] = id
+			*table = append(*table, la)
+		}
+		c.Ops = append(c.Ops, Op{ID: id, Kind: a.Kind})
+	}
+	return c, nil
+}
+
+// Counts returns the number of fetches, loads and stores, matching
+// Trace.Counts on the source trace.
+func (c *Compiled) Counts() (fetches, loads, stores int) {
+	for _, op := range c.Ops {
+		switch op.Kind {
+		case Fetch:
+			fetches++
+		case Load:
+			loads++
+		default:
+			stores++
+		}
+	}
+	return
+}

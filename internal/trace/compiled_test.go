@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func TestCompileRejectsBadLineSize(t *testing.T) {
+	tr := Trace{{Addr: 0, Kind: Load}}
+	for _, lb := range []int{0, -1, 3, 24, 48} {
+		if _, err := Compile(tr, lb); err == nil {
+			t.Errorf("line size %d accepted", lb)
+		}
+	}
+}
+
+func TestCompileRenumbersPerStream(t *testing.T) {
+	b := NewBuilder(0)
+	b.Fetch(0x1000) // I line 0x80
+	b.Load(0x1000)  // same byte address, data stream: D line 0x80 gets its own ID 0
+	b.Fetch(0x1020) // I line 0x81
+	b.Fetch(0x1001) // I line 0x80 again -> ID 0
+	b.Store(0x2000) // D line 0x100
+	b.Load(0x2010)  // same D line 0x100 -> ID 1
+	ct, err := Compile(b.Trace(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantI := []uint64{0x80, 0x81}
+	wantD := []uint64{0x80, 0x100}
+	if len(ct.ILines) != len(wantI) || len(ct.DLines) != len(wantD) {
+		t.Fatalf("line tables I=%v D=%v, want I=%v D=%v", ct.ILines, ct.DLines, wantI, wantD)
+	}
+	for i, w := range wantI {
+		if ct.ILines[i] != w {
+			t.Fatalf("ILines[%d] = %#x, want %#x", i, ct.ILines[i], w)
+		}
+	}
+	for i, w := range wantD {
+		if ct.DLines[i] != w {
+			t.Fatalf("DLines[%d] = %#x, want %#x", i, ct.DLines[i], w)
+		}
+	}
+	wantOps := []Op{{0, Fetch}, {0, Load}, {1, Fetch}, {0, Fetch}, {1, Store}, {1, Load}}
+	if len(ct.Ops) != len(wantOps) {
+		t.Fatalf("%d ops, want %d", len(ct.Ops), len(wantOps))
+	}
+	for i, w := range wantOps {
+		if ct.Ops[i] != w {
+			t.Fatalf("Ops[%d] = %+v, want %+v", i, ct.Ops[i], w)
+		}
+	}
+}
+
+// TestCompileDecompilesExactly is the renumbering round-trip property: for
+// random traces, every op's side-table entry reproduces the source
+// access's line address, kinds survive, and the line tables are dense,
+// duplicate-free and in first-touch order.
+func TestCompileDecompilesExactly(t *testing.T) {
+	f := func(seedLo uint32, n uint8) bool {
+		g := prng.New(uint64(seedLo))
+		b := NewBuilder(int(n))
+		for i := 0; i < int(n); i++ {
+			addr := g.Bits(18) // tight range so lines repeat
+			switch g.Intn(3) {
+			case 0:
+				b.Fetch(addr)
+			case 1:
+				b.Load(addr)
+			default:
+				b.Store(addr)
+			}
+		}
+		tr := b.Trace()
+		ct, err := Compile(tr, 32)
+		if err != nil || ct.Len() != len(tr) {
+			return false
+		}
+		seenI := make(map[uint64]bool)
+		seenD := make(map[uint64]bool)
+		for i, a := range tr {
+			op := ct.Ops[i]
+			if op.Kind != a.Kind {
+				return false
+			}
+			var la uint64
+			if a.Kind == Fetch {
+				la = ct.ILines[op.ID]
+				seenI[la] = true
+			} else {
+				la = ct.DLines[op.ID]
+				seenD[la] = true
+			}
+			if la != a.Addr>>5 {
+				return false
+			}
+		}
+		// Density: every table entry was referenced by some op, so the
+		// tables hold exactly the unique lines of their stream.
+		return len(seenI) == len(ct.ILines) && len(seenD) == len(ct.DLines)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompiledCountsMatchTrace(t *testing.T) {
+	b := NewBuilder(0)
+	for i := 0; i < 30; i++ {
+		b.Fetch(uint64(i) * 32)
+	}
+	for i := 0; i < 20; i++ {
+		b.Load(uint64(i) * 64)
+	}
+	for i := 0; i < 10; i++ {
+		b.Store(uint64(i) * 128)
+	}
+	tr := b.Trace()
+	ct, err := Compile(tr, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, l1, s1 := tr.Counts()
+	f2, l2, s2 := ct.Counts()
+	if f1 != f2 || l1 != l2 || s1 != s2 {
+		t.Fatalf("compiled counts %d/%d/%d, trace counts %d/%d/%d", f2, l2, s2, f1, l1, s1)
+	}
+}
+
+func TestCompileEmptyTrace(t *testing.T) {
+	ct, err := Compile(nil, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Len() != 0 || len(ct.ILines) != 0 || len(ct.DLines) != 0 {
+		t.Fatalf("empty trace compiled to %d ops, %d/%d lines", ct.Len(), len(ct.ILines), len(ct.DLines))
+	}
+}
