@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race vet fmt lint verify smoke smoke-serve serve bench bench-hotpath bench-json full-bench
+.PHONY: build test test-short race vet fmt lint verify smoke smoke-serve serve bench bench-hotpath bench-json bench-compare full-bench
 
 build:
 	$(GO) build ./...
@@ -53,10 +53,19 @@ bench-hotpath:
 	$(GO) test -run='^$$' -bench=HotPath -benchtime=10x .
 
 # Short fixed-scale trajectory snapshot (per-campaign HWM/mean/pWCET and
-# wall time); regenerate and commit BENCH_PR4.json when touching the hot
-# path. CI runs this and uploads the JSON as an artifact.
+# wall time); regenerate and commit BENCH_PR5.json when touching the hot
+# path (BENCH_JSON=path overrides the output file). CI runs this, asserts
+# the results are bit-identical to the previous PR's committed snapshot
+# via bench-compare, and uploads the JSON as an artifact.
+BENCH_JSON ?= BENCH_PR5.json
 bench-json:
-	$(GO) run ./cmd/paperbench -short -json BENCH_PR4.json
+	$(GO) run ./cmd/paperbench -short -json $(BENCH_JSON)
+
+# Determinism-trajectory gate: per-campaign HWM/mean/pWCET quantiles of
+# the new snapshot must be bit-identical to the committed previous one
+# (wall-time and environment fields exempt).
+bench-compare:
+	sh scripts/bench-compare.sh
 
 # Paper-scale regeneration (REPRO_WORKERS=N to size the engine pool).
 full-bench:

@@ -1,0 +1,154 @@
+// Command benchcompare is the determinism-trajectory gate behind
+// scripts/bench-compare.sh: it asserts that every campaign result in a
+// new bench-json snapshot (make bench-json) is bit-identical to the
+// committed snapshot of the previous PR. Execution-environment fields —
+// wall time, worker count, generation timestamp — are exempt; the
+// result-determining fields (runs, HWM, mean, pWCET quantiles, error
+// text) must match exactly, which is what the Engine's determinism
+// contract promises across any code change that only makes the simulator
+// faster.
+//
+// Campaign order inside a snapshot is completion order and therefore not
+// deterministic, and one experiment may legitimately run several
+// campaigns under one display name (fig5 runs an RM and an hRP campaign
+// per footprint), so rows are grouped by (experiment, name) and each
+// group is compared as a sorted multiset.
+//
+// Usage:
+//
+//	benchcompare OLD.json NEW.json
+//
+// Exit status: 0 when bit-identical, 1 on any result difference, 2 on
+// usage or read errors.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// row mirrors the result-determining fields of cmd/paperbench's
+// campaignJSON; unknown fields (wall time, timestamps) are ignored by the
+// decoder on purpose.
+type row struct {
+	Experiment string   `json:"experiment"`
+	Name       string   `json:"name"`
+	Runs       int      `json:"runs"`
+	HWM        float64  `json:"hwm"`
+	Mean       float64  `json:"mean"`
+	PWCET12    *float64 `json:"pwcet_1e12"`
+	PWCET15    *float64 `json:"pwcet_1e15"`
+	Error      string   `json:"error"`
+}
+
+type report struct {
+	Scale     string `json:"scale"`
+	Campaigns []row  `json:"campaigns"`
+}
+
+// canon renders the comparable content of a row; pointer quantiles print
+// with full float64 round-trip precision so "bit-identical" means exactly
+// that.
+func (r row) canon() string {
+	p12, p15 := "absent", "absent"
+	if r.PWCET12 != nil {
+		p12 = fmt.Sprintf("%.17g", *r.PWCET12)
+	}
+	if r.PWCET15 != nil {
+		p15 = fmt.Sprintf("%.17g", *r.PWCET15)
+	}
+	return fmt.Sprintf("runs=%d hwm=%.17g mean=%.17g pwcet12=%s pwcet15=%s err=%q",
+		r.Runs, r.HWM, r.Mean, p12, p15, r.Error)
+}
+
+func load(path string) (report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// groups buckets a report's rows by (experiment, name) with each bucket's
+// canonical forms sorted, removing the completion-order nondeterminism.
+func groups(rep report) map[string][]string {
+	out := make(map[string][]string)
+	for _, r := range rep.Campaigns {
+		key := r.Experiment + "/" + r.Name
+		out[key] = append(out[key], r.canon())
+	}
+	for _, v := range out {
+		sort.Strings(v)
+	}
+	return out
+}
+
+// compare returns the human-readable differences between two snapshots.
+func compare(oldRep, newRep report) []string {
+	var diffs []string
+	og, ng := groups(oldRep), groups(newRep)
+	if oldRep.Scale != newRep.Scale {
+		diffs = append(diffs, fmt.Sprintf("scale: %q vs %q (snapshots must use the same -short/-full scale)", oldRep.Scale, newRep.Scale))
+	}
+	keys := make([]string, 0, len(og))
+	for k := range og {
+		keys = append(keys, k)
+	}
+	for k := range ng {
+		if _, ok := og[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		o, n := og[k], ng[k]
+		switch {
+		case len(o) == 0:
+			diffs = append(diffs, fmt.Sprintf("%s: only in new snapshot", k))
+		case len(n) == 0:
+			diffs = append(diffs, fmt.Sprintf("%s: missing from new snapshot", k))
+		case len(o) != len(n):
+			diffs = append(diffs, fmt.Sprintf("%s: %d campaigns vs %d", k, len(o), len(n)))
+		default:
+			for i := range o {
+				if o[i] != n[i] {
+					diffs = append(diffs, fmt.Sprintf("%s[%d]:\n  old: %s\n  new: %s", k, i, o[i], n[i]))
+				}
+			}
+		}
+	}
+	return diffs
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchcompare OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRep, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+	newRep, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+	diffs := compare(oldRep, newRep)
+	if len(diffs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcompare: %s and %s differ in %d place(s):\n", os.Args[1], os.Args[2], len(diffs))
+		for _, d := range diffs {
+			fmt.Fprintln(os.Stderr, " ", d)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchcompare: %d campaigns bit-identical between %s and %s (wall-time fields exempt)\n",
+		len(newRep.Campaigns), os.Args[1], os.Args[2])
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func q(v float64) *float64 { return &v }
+
+func baseReport() report {
+	return report{
+		Scale: "short",
+		Campaigns: []row{
+			{Experiment: "table2", Name: "table2/a", Runs: 80, HWM: 100, Mean: 90.5, PWCET12: q(110.25), PWCET15: q(112.75)},
+			{Experiment: "fig5", Name: "synth8k", Runs: 40, HWM: 200, Mean: 180},
+			{Experiment: "fig5", Name: "synth8k", Runs: 40, HWM: 220, Mean: 190},
+		},
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	if diffs := compare(baseReport(), baseReport()); len(diffs) != 0 {
+		t.Fatalf("identical reports flagged: %v", diffs)
+	}
+}
+
+func TestCompareIgnoresOrderWithinDuplicateNames(t *testing.T) {
+	newRep := baseReport()
+	// Completion order flips for the two fig5/synth8k campaigns.
+	newRep.Campaigns[1], newRep.Campaigns[2] = newRep.Campaigns[2], newRep.Campaigns[1]
+	if diffs := compare(baseReport(), newRep); len(diffs) != 0 {
+		t.Fatalf("reordered duplicate-name campaigns flagged: %v", diffs)
+	}
+}
+
+func TestCompareFlagsResultDrift(t *testing.T) {
+	for name, mutate := range map[string]func(*report){
+		"hwm":           func(r *report) { r.Campaigns[0].HWM++ },
+		"mean":          func(r *report) { r.Campaigns[0].Mean += 1e-9 },
+		"pwcet12":       func(r *report) { *r.Campaigns[0].PWCET12 += 1e-9 },
+		"pwcet-dropped": func(r *report) { r.Campaigns[0].PWCET15 = nil },
+		"runs":          func(r *report) { r.Campaigns[0].Runs = 81 },
+		"missing":       func(r *report) { r.Campaigns = r.Campaigns[1:] },
+		"extra": func(r *report) {
+			r.Campaigns = append(r.Campaigns, row{Experiment: "x", Name: "y"})
+		},
+		"error-text": func(r *report) { r.Campaigns[0].Error = "boom" },
+		"scale":      func(r *report) { r.Scale = "full" },
+	} {
+		newRep := baseReport()
+		mutate(&newRep)
+		if diffs := compare(baseReport(), newRep); len(diffs) == 0 {
+			t.Errorf("%s drift not flagged", name)
+		}
+	}
+}
+
+// TestLoadIgnoresEnvironmentFields pins the wall-time exemption: decoding
+// a real paperbench report with wall_seconds, generated_at and workers
+// populated only keeps the result-determining fields.
+func TestLoadIgnoresEnvironmentFields(t *testing.T) {
+	doc := map[string]any{
+		"generated_at": "2026-01-01T00:00:00Z",
+		"scale":        "short",
+		"workers":      8,
+		"campaigns": []map[string]any{{
+			"experiment": "table2", "name": "table2/a", "runs": 80,
+			"hwm": 100.0, "mean": 90.5, "wall_seconds": 12.75,
+		}},
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "r.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := rep
+	other.Campaigns = append([]row(nil), rep.Campaigns...)
+	// A wall-time change has nowhere to live in the decoded form, so the
+	// comparison cannot see it.
+	if diffs := compare(rep, other); len(diffs) != 0 {
+		t.Fatalf("environment fields leaked into the comparison: %v", diffs)
+	}
+}

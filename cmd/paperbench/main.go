@@ -15,6 +15,7 @@
 //
 //	paperbench [-exp all|table1|table2|fig1|fig4a|fig4b|fig5|avgperf|collision|ablations|multicore|convergence]
 //	           [-full|-short] [-workers N] [-timeout d] [-progress] [-csv dir] [-json path]
+//	           [-cpuprofile path] [-memprofile path]
 //
 // -full restores the paper's campaign sizes (1000 runs per benchmark);
 // -short shrinks them to a smoke-test scale; the default regenerates
@@ -26,6 +27,12 @@
 // and -csv writes machine-readable series for plotting. -json writes a
 // per-campaign summary (name, HWM, mean, pWCET quantiles, wall time) so
 // the performance trajectory can be tracked across code changes.
+// -cpuprofile and -memprofile write pprof profiles of the regeneration
+// (the whole run for CPU; a heap snapshot at exit for memory), so
+// hot-path regressions can be profiled without editing the harness:
+//
+//	go run ./cmd/paperbench -exp table2 -short -cpuprofile cpu.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -36,6 +43,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -72,6 +81,8 @@ func main() {
 	progress := flag.Bool("progress", stderrIsTerminal(), "live per-campaign progress line on stderr")
 	csvDir := flag.String("csv", "", "directory for machine-readable CSV output (optional)")
 	jsonPath := flag.String("json", "", "write machine-readable per-campaign results (name, HWM, mean, pWCET quantiles, wall time) to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the regeneration to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
 	if err := validateExp(*exp); err != nil {
@@ -82,6 +93,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "paperbench: -full and -short are mutually exclusive")
 		os.Exit(2)
 	}
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
 
 	scale := experiments.FromEnv()
 	if *full {
@@ -138,6 +156,7 @@ func main() {
 			if errors.Is(err, context.DeadlineExceeded) {
 				fmt.Fprintf(os.Stderr, "paperbench: -timeout %v exceeded\n", *timeout)
 			}
+			stopProfiles()
 			os.Exit(1)
 		}
 		fmt.Println(out)
@@ -287,6 +306,7 @@ func main() {
 		}
 		if err := recorder.write(*jsonPath, label, eng.Workers()); err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: writing -json report: %v\n", err)
+			stopProfiles()
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "paperbench: wrote %s\n", *jsonPath)
@@ -336,6 +356,51 @@ func (m *progressMeter) clear() {
 		fmt.Fprintf(m.w, "\r%-*s\r", m.width, "")
 		m.width = 0
 	}
+}
+
+// startProfiles arms the -cpuprofile/-memprofile outputs and returns the
+// idempotent stop function that flushes them; it runs both on normal exit
+// (deferred) and right before error exits, so profiles survive failures.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Fprintf(os.Stderr, "paperbench: wrote CPU profile to %s\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle the heap so the snapshot reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: -memprofile: %v\n", err)
+				f.Close()
+				return
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "paperbench: wrote heap profile to %s\n", memPath)
+		}
+	}, nil
 }
 
 func stderrIsTerminal() bool {

@@ -34,6 +34,33 @@ func TestValidateExp(t *testing.T) {
 	}
 }
 
+// TestStartProfiles exercises the -cpuprofile/-memprofile plumbing: both
+// files must exist and be non-empty after stop, and stop must be
+// idempotent (it runs both deferred and before error exits).
+func TestStartProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.out"), filepath.Join(dir, "mem.out")
+	stop, err := startProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop() // second call is a no-op, not a crash or a truncation
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+	// An unwritable path is a usage error reported up front.
+	if _, err := startProfiles(filepath.Join(dir, "no/such/dir/cpu.out"), ""); err == nil {
+		t.Fatal("unwritable -cpuprofile path accepted")
+	}
+}
+
 // TestResultRecorder drives the -json recorder from a real (tiny) Engine
 // campaign and checks the written report: the reconstructed HWM and mean
 // must match the campaign result exactly, since the event stream carries

@@ -48,6 +48,11 @@ func main() {
 	maxRuns := flag.Int("max-runs", 100000, "largest accepted campaign")
 	flag.Parse()
 
+	if err := validateFlags(*jobs, *queue, *cache, *defaultRuns, *maxRuns); err != nil {
+		fmt.Fprintln(os.Stderr, "rmserved:", err)
+		os.Exit(2)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rmserved:", err)
@@ -93,6 +98,27 @@ func main() {
 		svc.Close()
 		log.Print("drained")
 	}
+}
+
+// validateFlags checks the numeric service knobs up front: an invalid
+// value is a usage error reported on exit code 2, consistent with the
+// flag-validation convention of rmsim, mbpta, tracegen and paperbench.
+func validateFlags(jobs, queue, cache, defaultRuns, maxRuns int) error {
+	switch {
+	case jobs < 1:
+		return fmt.Errorf("-jobs must be at least 1, got %d", jobs)
+	case queue < 1:
+		return fmt.Errorf("-queue must be at least 1, got %d", queue)
+	case cache < 0:
+		return fmt.Errorf("-cache must be non-negative, got %d", cache)
+	case defaultRuns < 1:
+		return fmt.Errorf("-default-runs must be at least 1, got %d", defaultRuns)
+	case maxRuns < 1:
+		return fmt.Errorf("-max-runs must be at least 1, got %d", maxRuns)
+	case defaultRuns > maxRuns:
+		return fmt.Errorf("-default-runs %d exceeds -max-runs %d", defaultRuns, maxRuns)
+	}
+	return nil
 }
 
 // listenHost renders the bound address with a connectable host: a

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+)
+
+// TestValidateFlags pins the usage contract of rmserved's numeric knobs:
+// invalid values are usage errors (reported on exit code 2 by main, like
+// the other commands) that name the offending flag and value.
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(2, 64, 1024, 300, 100000); err != nil {
+		t.Fatalf("default flag set rejected: %v", err)
+	}
+	if err := validateFlags(1, 1, 0, 1, 1); err != nil {
+		t.Fatalf("minimal valid flag set rejected: %v", err)
+	}
+	bad := []struct {
+		name                                string
+		jobs, queue, cache, defRuns, maxRun int
+		wantFlag                            string
+	}{
+		{"zero jobs", 0, 64, 1024, 300, 100000, "-jobs"},
+		{"negative jobs", -3, 64, 1024, 300, 100000, "-jobs"},
+		{"zero queue", 2, 0, 1024, 300, 100000, "-queue"},
+		{"negative cache", 2, 64, -1, 300, 100000, "-cache"},
+		{"zero default runs", 2, 64, 1024, 0, 100000, "-default-runs"},
+		{"zero max runs", 2, 64, 1024, 300, 0, "-max-runs"},
+		{"default above max", 2, 64, 1024, 500, 400, "-default-runs"},
+	}
+	for _, tc := range bad {
+		err := validateFlags(tc.jobs, tc.queue, tc.cache, tc.defRuns, tc.maxRun)
+		if err == nil {
+			t.Errorf("%s accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantFlag) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.wantFlag)
+		}
+	}
+}
+
+// TestListenHost checks that wildcard listens are reported with a
+// connectable host, so logs and smoke scripts can paste the URL.
+func TestListenHost(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if got := listenHost(ln); !strings.HasPrefix(got, "127.0.0.1:") {
+		t.Fatalf("listenHost = %q, want 127.0.0.1:port", got)
+	}
+	wild, err := net.Listen("tcp", ":0")
+	if err != nil {
+		t.Skipf("wildcard listen unavailable: %v", err)
+	}
+	defer wild.Close()
+	got := listenHost(wild)
+	if !strings.HasPrefix(got, "127.0.0.1:") {
+		t.Fatalf("wildcard listenHost = %q, want a connectable 127.0.0.1:port", got)
+	}
+}

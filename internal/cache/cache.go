@@ -96,6 +96,12 @@ func (c Config) Validate() error {
 	if c.SizeBytes%(c.Ways*c.LineBytes) != 0 {
 		return fmt.Errorf("cache %s: size %d not divisible by ways*line", c.Name, c.SizeBytes)
 	}
+	if c.Ways > 64 {
+		// The tag state packs per-set valid/dirty flags into one uint64
+		// bitmask per set (see Cache), and no modelled platform exceeds
+		// 64-way associativity.
+		return fmt.Errorf("cache %s: %d ways exceeds the modelled maximum of 64", c.Name, c.Ways)
+	}
 	s := c.Sets()
 	if s < 2 || s&(s-1) != 0 {
 		return fmt.Errorf("cache %s: %d sets, must be a power of two >= 2", c.Name, s)
@@ -121,15 +127,6 @@ func (s Stats) MissRatio() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
-// line is one tag-array entry. The simulator stores the full line address;
-// the hardware-cost model accounts separately for whether the real tag
-// array would need the index bits (placement.NeedsIndexInTag).
-type line struct {
-	addr  uint64
-	valid bool
-	dirty bool
-}
-
 // Result reports the outcome of one access.
 type Result struct {
 	Hit           bool
@@ -140,13 +137,23 @@ type Result struct {
 }
 
 // Cache is one cache level. Not safe for concurrent use.
+//
+// The tag state is struct-of-arrays: one flat line-address slice plus one
+// packed valid/dirty bitmask per set (Validate caps Ways at 64). The
+// simulator stores the full line address; the hardware-cost model accounts
+// separately for whether the real tag array would need the index bits
+// (placement.NeedsIndexInTag). Keeping the per-way metadata in set-local
+// bitmasks lets the replay kernels probe a whole set with one load and a
+// bit scan instead of striding across array-of-structs entries.
 type Cache struct {
 	cfg     Config
 	pol     placement.Policy
 	sets    int
 	ways    int
 	offBits uint
-	lines   []line // sets*ways, set-major
+	addrs   []uint64 // sets*ways line addresses, set-major
+	valid   []uint64 // per-set valid bitmask, bit w = way w
+	dirty   []uint64 // per-set dirty bitmask, bit w = way w
 
 	// Replacement state, one of the following depending on kind.
 	repl    ReplacementKind
@@ -186,13 +193,15 @@ func NewWithPolicy(cfg Config, pol placement.Policy) (*Cache, error) {
 		sets:    cfg.Sets(),
 		ways:    cfg.Ways,
 		offBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
-		lines:   make([]line, cfg.Sets()*cfg.Ways),
+		addrs:   make([]uint64, cfg.Sets()*cfg.Ways),
+		valid:   make([]uint64, cfg.Sets()),
+		dirty:   make([]uint64, cfg.Sets()),
 		repl:    cfg.Replacement,
 		rng:     prng.New(initialStream(cfg.Name)),
 	}
 	switch cfg.Replacement {
 	case LRU, FIFO:
-		c.lruTick = make([]uint64, len(c.lines))
+		c.lruTick = make([]uint64, len(c.addrs))
 	case PLRU:
 		if cfg.Ways&(cfg.Ways-1) != 0 {
 			return nil, fmt.Errorf("cache %s: PLRU needs power-of-two ways, got %d", cfg.Name, cfg.Ways)
@@ -252,8 +261,9 @@ func (c *Cache) Reseed(seed uint64) {
 
 // Flush invalidates every line.
 func (c *Cache) Flush() {
-	for i := range c.lines {
-		c.lines[i] = line{}
+	for i := range c.valid {
+		c.valid[i] = 0
+		c.dirty[i] = 0
 	}
 	if c.lruTick != nil {
 		for i := range c.lruTick {
@@ -273,13 +283,20 @@ func (c *Cache) Flush() {
 func (c *Cache) Lookup(addr uint64) bool {
 	la := c.LineAddr(addr)
 	set := int(c.pol.Index(la))
+	return c.probe(la, set) >= 0
+}
+
+// probe returns the way holding la in set, or -1. It scans only the valid
+// ways via the set's bitmask.
+func (c *Cache) probe(la uint64, set int) int {
 	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		if c.lines[base+w].valid && c.lines[base+w].addr == la {
-			return true
+	for m := c.valid[set]; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		if c.addrs[base+w] == la {
+			return w
 		}
 	}
-	return false
+	return -1
 }
 
 // Read performs a load or instruction fetch for addr.
@@ -313,18 +330,14 @@ func (c *Cache) access(addr uint64, isWrite bool) Result {
 
 func (c *Cache) accessLine(la uint64, set int, isWrite bool) Result {
 	c.stats.Accesses++
-	base := set * c.ways
 
-	for w := 0; w < c.ways; w++ {
-		ln := &c.lines[base+w]
-		if ln.valid && ln.addr == la {
-			c.stats.Hits++
-			c.touch(set, w)
-			if isWrite && c.cfg.Write == WriteBack {
-				ln.dirty = true
-			}
-			return Result{Hit: true}
+	if w := c.probe(la, set); w >= 0 {
+		c.stats.Hits++
+		c.touch(set, w)
+		if isWrite && c.cfg.Write == WriteBack {
+			c.dirty[set] |= 1 << uint(w)
 		}
+		return Result{Hit: true}
 	}
 
 	c.stats.Misses++
@@ -334,19 +347,23 @@ func (c *Cache) accessLine(la uint64, set int, isWrite bool) Result {
 	}
 	res := Result{Filled: true}
 	w := c.victim(set)
-	ln := &c.lines[base+w]
-	if ln.valid {
+	bit := uint64(1) << uint(w)
+	if c.valid[set]&bit != 0 {
 		res.Evicted = true
 		c.stats.Evictions++
-		if ln.dirty {
+		if c.dirty[set]&bit != 0 {
 			res.Writeback = true
-			res.WritebackAddr = ln.addr
+			res.WritebackAddr = c.addrs[set*c.ways+w]
 			c.stats.Writebacks++
 		}
 	}
-	ln.addr = la
-	ln.valid = true
-	ln.dirty = isWrite && c.cfg.Write == WriteBack
+	c.addrs[set*c.ways+w] = la
+	c.valid[set] |= bit
+	if isWrite && c.cfg.Write == WriteBack {
+		c.dirty[set] |= bit
+	} else {
+		c.dirty[set] &^= bit
+	}
 	c.touch(set, w)
 	return res
 }
@@ -393,13 +410,12 @@ func (c *Cache) victim(set int) int {
 	if c.repl == Random {
 		return c.rng.Intn(c.ways)
 	}
-	for w := 0; w < c.ways; w++ {
-		if !c.lines[base+w].valid {
-			if c.repl == FIFO {
-				c.lruTick[base+w] = 0 // force restamp on fill
-			}
-			return w
+	if free := ^c.valid[set] & (1<<uint(c.ways) - 1); free != 0 {
+		w := bits.TrailingZeros64(free) // lowest invalid way, as a scan would find
+		if c.repl == FIFO {
+			c.lruTick[base+w] = 0 // force restamp on fill
 		}
+		return w
 	}
 	switch c.repl {
 	case LRU, FIFO:
@@ -455,10 +471,8 @@ func (c *Cache) plruVictim(set int) int {
 // Occupancy returns the number of valid lines, for tests.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].valid {
-			n++
-		}
+	for _, m := range c.valid {
+		n += bits.OnesCount64(m)
 	}
 	return n
 }
@@ -466,10 +480,8 @@ func (c *Cache) Occupancy() int {
 // DirtyLines returns the number of dirty lines, for tests.
 func (c *Cache) DirtyLines() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].valid && c.lines[i].dirty {
-			n++
-		}
+	for set, m := range c.dirty {
+		n += bits.OnesCount64(m & c.valid[set])
 	}
 	return n
 }
@@ -479,10 +491,8 @@ func (c *Cache) DirtyLines() int {
 func (c *Cache) SetContents(set int) []uint64 {
 	var out []uint64
 	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		if c.lines[base+w].valid {
-			out = append(out, c.lines[base+w].addr)
-		}
+	for m := c.valid[set]; m != 0; m &= m - 1 {
+		out = append(out, c.addrs[base+bits.TrailingZeros64(m)])
 	}
 	return out
 }

@@ -50,11 +50,26 @@ func legacyBaseline(t *testing.T, spec PlatformSpec, w workload.Workload, runs i
 	return times
 }
 
+// engineWriteArrangements are the write setups the engine-level
+// differential test applies to the store-visible levels (DL1 and L2):
+// the platform default (write-through no-allocate DL1, write-back L2)
+// plus the two inversions that bind every other write kernel.
+var engineWriteArrangements = []struct {
+	name string
+	dl1  WriteSetup
+	l2   WriteSetup
+}{
+	{"default", WriteDefault, WriteDefault},
+	{"wta/wb", WriteThroughAlloc, WriteBackAlloc},
+	{"wb/wt", WriteBackAlloc, WriteThroughNoAlloc},
+}
+
 // TestEngineRunMatchesLegacyHotLoop is the engine-level differential
-// test of the compiled campaign path: for every placement kind and every
-// replacement policy, Engine.Run at workers 1 and 4 must reproduce the
-// legacy per-access hot loop bit-for-bit — same Times, same summed
-// per-level Stats — for both MBPTA and baseline protocols.
+// test of the compiled campaign path: for every placement kind, every
+// replacement policy and every write arrangement, Engine.Run at workers
+// 1 and 4 must reproduce the legacy per-access hot loop bit-for-bit —
+// same Times, same summed per-level Stats — for both MBPTA and baseline
+// protocols.
 func TestEngineRunMatchesLegacyHotLoop(t *testing.T) {
 	w, err := workload.ByName("bitmnp01")
 	if err != nil {
@@ -63,44 +78,77 @@ func TestEngineRunMatchesLegacyHotLoop(t *testing.T) {
 	const runs = 12
 	for _, pk := range placement.Kinds() {
 		for _, rk := range []cache.ReplacementKind{cache.LRU, cache.Random, cache.FIFO, cache.PLRU} {
-			spec := PaperPlatform(pk)
-			spec.IL1.Replacement, spec.DL1.Replacement, spec.L2.Replacement = rk, rk, rk
-			seed := uint64(0xBEEF) ^ uint64(pk)<<8 ^ uint64(rk)
-			wantTimes, wantLevels := legacyCampaign(t, spec, w, runs, seed)
-			wantBase := legacyBaseline(t, spec, w, runs, seed)
+			for _, wa := range engineWriteArrangements {
+				spec := PaperPlatform(pk)
+				spec.IL1.Replacement, spec.DL1.Replacement, spec.L2.Replacement = rk, rk, rk
+				spec.DL1.Write, spec.L2.Write = wa.dl1, wa.l2
+				seed := uint64(0xBEEF) ^ uint64(pk)<<8 ^ uint64(rk) ^ uint64(wa.dl1)<<16
+				wantTimes, wantLevels := legacyCampaign(t, spec, w, runs, seed)
+				wantBase := legacyBaseline(t, spec, w, runs, seed)
 
-			for _, workers := range []int{1, 4} {
-				eng := NewEngine(WithWorkers(workers))
-				res, err := eng.Run(context.Background(), Request{
-					Spec: spec, Workload: w, Runs: runs, MasterSeed: seed,
-				})
-				if err != nil {
-					t.Fatalf("%v/%v workers=%d: %v", pk, rk, workers, err)
-				}
-				for i := range wantTimes {
-					if res.Times[i] != wantTimes[i] {
-						t.Fatalf("%v/%v workers=%d: Times[%d] = %v, legacy hot loop %v",
-							pk, rk, workers, i, res.Times[i], wantTimes[i])
+				for _, workers := range []int{1, 4} {
+					eng := NewEngine(WithWorkers(workers))
+					res, err := eng.Run(context.Background(), Request{
+						Spec: spec, Workload: w, Runs: runs, MasterSeed: seed,
+					})
+					if err != nil {
+						t.Fatalf("%v/%v/%s workers=%d: %v", pk, rk, wa.name, workers, err)
 					}
-				}
-				if res.Levels != wantLevels {
-					t.Fatalf("%v/%v workers=%d: Levels = %+v, legacy %+v",
-						pk, rk, workers, res.Levels, wantLevels)
-				}
+					for i := range wantTimes {
+						if res.Times[i] != wantTimes[i] {
+							t.Fatalf("%v/%v/%s workers=%d: Times[%d] = %v, legacy hot loop %v",
+								pk, rk, wa.name, workers, i, res.Times[i], wantTimes[i])
+						}
+					}
+					if res.Levels != wantLevels {
+						t.Fatalf("%v/%v/%s workers=%d: Levels = %+v, legacy %+v",
+							pk, rk, wa.name, workers, res.Levels, wantLevels)
+					}
 
-				base, err := eng.Run(context.Background(), Request{
-					Spec: spec, Workload: w, Runs: runs, MasterSeed: seed, Baseline: true,
-				})
-				if err != nil {
-					t.Fatalf("%v/%v workers=%d baseline: %v", pk, rk, workers, err)
-				}
-				for i := range wantBase {
-					if base.Times[i] != wantBase[i] {
-						t.Fatalf("%v/%v workers=%d: baseline Times[%d] = %v, legacy %v",
-							pk, rk, workers, i, base.Times[i], wantBase[i])
+					base, err := eng.Run(context.Background(), Request{
+						Spec: spec, Workload: w, Runs: runs, MasterSeed: seed, Baseline: true,
+					})
+					if err != nil {
+						t.Fatalf("%v/%v/%s workers=%d baseline: %v", pk, rk, wa.name, workers, err)
+					}
+					for i := range wantBase {
+						if base.Times[i] != wantBase[i] {
+							t.Fatalf("%v/%v/%s workers=%d: baseline Times[%d] = %v, legacy %v",
+								pk, rk, wa.name, workers, i, base.Times[i], wantBase[i])
+						}
 					}
 				}
 			}
 		}
+	}
+}
+
+// TestBuildAppliesWriteSetup pins the WriteSetup-to-cache.Config mapping.
+func TestBuildAppliesWriteSetup(t *testing.T) {
+	spec := PaperPlatform(placement.RM)
+	spec.DL1.Write = WriteBackAlloc
+	spec.L2.Write = WriteThroughAlloc
+	p, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dl1, l2 := p.Caches()
+	if cfg := dl1.Config(); cfg.Write != cache.WriteBack {
+		t.Fatalf("DL1 write = %v, want write-back", cfg.Write)
+	}
+	if cfg := l2.Config(); cfg.Write != cache.WriteThrough || !cfg.AllocOnWrite {
+		t.Fatalf("L2 = %v alloc=%v, want write-through allocate", cfg.Write, cfg.AllocOnWrite)
+	}
+	// The default arrangement is unchanged by the zero value.
+	def, err := PaperPlatform(placement.RM).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ddl1, dl2 := def.Caches()
+	if ddl1.Config().Write != cache.WriteThrough || ddl1.Config().AllocOnWrite {
+		t.Fatal("default DL1 arrangement changed")
+	}
+	if dl2.Config().Write != cache.WriteBack {
+		t.Fatal("default L2 arrangement changed")
 	}
 }

@@ -22,10 +22,28 @@ import (
 	"repro/internal/workload"
 )
 
+// WriteSetup optionally overrides a cache level's write arrangement. The
+// zero value keeps the platform convention (write-through no-allocate
+// L1s, write-back L2 — the paper's safety-critical design point); the
+// other values force a specific arrangement, which the ablation and
+// differential-test surfaces use to exercise every replay kernel.
+type WriteSetup int
+
+// Write arrangements.
+const (
+	WriteDefault        WriteSetup = iota // platform convention per level
+	WriteThroughNoAlloc                   // stores bypass the level on miss
+	WriteThroughAlloc                     // store misses allocate, lines stay clean
+	WriteBackAlloc                        // store hits/fills dirty the line; dirty victims write back
+)
+
 // CacheSetup selects the policies of one cache level.
 type CacheSetup struct {
 	Placement   placement.Kind
 	Replacement cache.ReplacementKind
+	// Write optionally overrides the level's write arrangement (see
+	// WriteSetup; zero keeps the platform default).
+	Write WriteSetup
 }
 
 // PlatformSpec describes the simulated platform. The zero value is not
@@ -83,7 +101,7 @@ func PlatformFor(kind placement.Kind) PlatformSpec {
 // Build instantiates the platform.
 func (s PlatformSpec) Build() (*sim.Core, error) {
 	mk := func(name string, size, ways int, cs CacheSetup, write cache.WritePolicy) cache.Config {
-		return cache.Config{
+		cfg := cache.Config{
 			Name:        name,
 			SizeBytes:   size,
 			Ways:        ways,
@@ -92,6 +110,15 @@ func (s PlatformSpec) Build() (*sim.Core, error) {
 			Replacement: cs.Replacement,
 			Write:       write,
 		}
+		switch cs.Write {
+		case WriteThroughNoAlloc:
+			cfg.Write, cfg.AllocOnWrite = cache.WriteThrough, false
+		case WriteThroughAlloc:
+			cfg.Write, cfg.AllocOnWrite = cache.WriteThrough, true
+		case WriteBackAlloc:
+			cfg.Write, cfg.AllocOnWrite = cache.WriteBack, false
+		}
+		return cfg
 	}
 	cfg := sim.Config{
 		IL1: mk("IL1", s.L1SizeBytes, s.L1Ways, s.IL1, cache.WriteThrough),

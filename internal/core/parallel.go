@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/sim"
@@ -109,77 +110,130 @@ func ShardRunsContext[T any](ctx context.Context, workers, runs int, build func(
 // ShardRunsContext: results depend only on run indices, never on the pool
 // size or on what else is executing over the pool.
 func ShardRunsPool[T any](ctx context.Context, pool *Pool, runs int, build func() (T, error), do func(ctx T, run int) error) error {
+	return ShardChunksPool(ctx, pool, runs, build, func(ctxT T, lo, hi int) error {
+		for run := lo; run < hi; run++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := do(ctxT, run); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// chunkSize picks the claim granularity of a chunked sweep: a handful of
+// chunks per worker, so goroutine, pool and claim overhead amortizes
+// across a whole chunk while stragglers can still rebalance.
+func chunkSize(runs, workers int) int {
+	c := (runs + workers*4 - 1) / (workers * 4)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// ShardChunksPool is the chunked core of every sweep: runs [0, runs) are
+// claimed as contiguous chunks off a shared cursor by up to
+// normWorkers(pool.Workers(), runs) workers, each of which calls build
+// once for its private execution context and then processes whole chunks
+// via do(ctx, lo, hi). Chunk claiming is dynamic (stragglers rebalance)
+// but outputs must be run-indexed and all randomness derived from run
+// indices, so results stay bit-identical for any worker count and any
+// claiming order. The failure with the lowest chunk start is returned;
+// build and pool-acquire failures rank after every run failure.
+func ShardChunksPool[T any](ctx context.Context, pool *Pool, runs int, build func() (T, error), do func(ctx T, lo, hi int) error) error {
 	if runs <= 0 {
 		return nil
 	}
 	if pool == nil {
 		pool = NewPool(0)
 	}
-	shards := normWorkers(pool.Workers(), runs)
-	chunk := (runs + shards - 1) / shards
-	errs := make([]error, shards)
+	workers := normWorkers(pool.Workers(), runs)
+	chunk := chunkSize(runs, workers)
+	type failure struct {
+		at  int
+		err error
+	}
+	fails := make([]failure, workers)
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for w := 0; w < shards; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, runs)
-		if lo >= hi {
-			break
-		}
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(w int) {
 			defer wg.Done()
 			if err := pool.acquire(ctx); err != nil {
-				errs[w] = err
+				fails[w] = failure{runs + w, err}
 				return
 			}
 			defer pool.release()
 			ctxT, err := build()
 			if err != nil {
-				errs[w] = err
+				fails[w] = failure{runs + w, err}
 				return
 			}
-			for run := lo; run < hi; run++ {
-				if err := ctx.Err(); err != nil {
-					errs[w] = err
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= runs {
 					return
 				}
-				if err := do(ctxT, run); err != nil {
-					errs[w] = err
+				// Cancellation stops the claim loop itself, so a do that
+				// does not poll ctx still aborts between chunks.
+				if err := ctx.Err(); err != nil {
+					fails[w] = failure{lo, err}
+					return
+				}
+				hi := min(lo+chunk, runs)
+				if err := do(ctxT, lo, hi); err != nil {
+					fails[w] = failure{lo, err}
 					return
 				}
 			}
-		}(w, lo, hi)
+		}(w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	best := failure{at: -1}
+	for _, f := range fails {
+		if f.err != nil && (best.err == nil || f.at < best.at) {
+			best = f
 		}
 	}
-	return nil
+	return best.err
 }
 
-// runShards shards a single-core campaign over a Pool: each shard builds
+// runShards shards a single-core campaign over a Pool: each worker builds
 // its own platform from spec, do performs one run on it, per-run cycle
 // counts land in times[run], and the per-level counters are summed into
 // the returned LevelStats (integer sums are order-independent, so the
-// aggregate is as schedule-proof as the measurement vector). onRun, if
-// non-nil, observes every completed run (called from worker goroutines).
+// aggregate is as schedule-proof as the measurement vector). Counters
+// accumulate chunk-locally and merge under the mutex once per chunk, so
+// the per-run cost of the sweep is the run itself. onRun, if non-nil,
+// observes every completed run (called from worker goroutines).
 func runShards(ctx context.Context, pool *Pool, spec PlatformSpec, runs int, times []float64, do func(p *sim.Core, run int) (sim.Result, error), onRun func(run int, r sim.Result)) (LevelStats, error) {
 	var mu sync.Mutex
 	var agg LevelStats
-	err := ShardRunsPool(ctx, pool, runs, spec.Build, func(p *sim.Core, run int) error {
-		r, err := do(p, run)
-		if err != nil {
-			return err
+	err := ShardChunksPool(ctx, pool, runs, spec.Build, func(p *sim.Core, lo, hi int) error {
+		var local LevelStats
+		for run := lo; run < hi; run++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			r, err := do(p, run)
+			if err != nil {
+				return err
+			}
+			times[run] = float64(r.Cycles)
+			local.add(r)
+			if onRun != nil {
+				onRun(run, r)
+			}
 		}
-		times[run] = float64(r.Cycles)
 		mu.Lock()
-		agg.add(r)
+		agg.IL1 = addStats(agg.IL1, local.IL1)
+		agg.DL1 = addStats(agg.DL1, local.DL1)
+		agg.L2 = addStats(agg.L2, local.L2)
 		mu.Unlock()
-		if onRun != nil {
-			onRun(run, r)
-		}
 		return nil
 	})
 	if err != nil {

@@ -18,6 +18,8 @@
 // every program run.
 package prng
 
+import "math/bits"
+
 // Feedback polynomials (primitive over GF(2)) for the three Galois LFSRs.
 // Taps are written with the convention that bit 0 is the output bit.
 const (
@@ -76,6 +78,43 @@ func mix(z *uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// Batch stepping tables: stepping a Galois LFSR k times is linear over
+// GF(2), and as long as k does not exceed the lowest feedback tap no bit
+// injected by the feedback XOR can reach the output (or trigger a second
+// feedback) within the batch. The lowest taps here are bits 9 (poly32),
+// 27 (poly31) and 26 (poly29), so an 8-step batch is safe for all three
+// registers: the 8 output bits are exactly the low byte of the pre-batch
+// state, and the post-batch state is (s >> 8) XOR the accumulated
+// feedback, a pure function of the consumed byte. The tables hold that
+// accumulated feedback per consumed byte, making Bits(64) 8 table steps
+// instead of 64 serial clockings while producing the identical stream
+// (pinned by TestBatchedStepMatchesReference).
+var batch32, batch31, batch29 [256]uint32
+
+func init() {
+	for b := 0; b < 256; b++ {
+		for j := 0; j < 8; j++ {
+			if b>>uint(j)&1 == 1 {
+				// The bit consumed at batch step j is XORed in as poly and
+				// then shifted right for the remaining 7-j steps.
+				batch32[b] ^= poly32 >> uint(7-j)
+				batch31[b] ^= poly31 >> uint(7-j)
+				batch29[b] ^= poly29 >> uint(7-j)
+			}
+		}
+	}
+}
+
+// step8 advances all three LFSRs by eight clocks and returns the eight
+// combined output bits, bit j being the output of clock j.
+func (p *PRNG) step8() uint32 {
+	out := (p.s32 ^ p.s31 ^ p.s29) & 0xFF
+	p.s32 = p.s32>>8 ^ batch32[p.s32&0xFF]
+	p.s31 = p.s31>>8 ^ batch31[p.s31&0xFF]
+	p.s29 = p.s29>>8 ^ batch29[p.s29&0xFF]
+	return out
+}
+
 // step advances all three LFSRs by one clock and returns the combined
 // output bit, exactly as the hardware combiner XORs the register outputs.
 func (p *PRNG) step() uint32 {
@@ -106,6 +145,11 @@ func (p *PRNG) Bits(n int) uint64 {
 		panic("prng: Bits count out of range")
 	}
 	var v uint64
+	// Most recently generated bit lands in the least-significant position,
+	// so a batch of eight (output bit j = clock j) enters bit-reversed.
+	for ; n >= 8; n -= 8 {
+		v = v<<8 | uint64(bits.Reverse8(uint8(p.step8())))
+	}
 	for i := 0; i < n; i++ {
 		v = v<<1 | uint64(p.step())
 	}

@@ -267,6 +267,63 @@ func TestQuickNoLockup(t *testing.T) {
 	}
 }
 
+// referenceBits reproduces the pre-batching Bits implementation: n single
+// LFSR clockings via step(). The production Bits batches eight clocks at a
+// time through the precomputed feedback tables; this is the oracle that
+// pins the batched stream (and the post-call LFSR state) bit-for-bit.
+func referenceBits(p *PRNG, n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		v = v<<1 | uint64(p.step())
+	}
+	return v
+}
+
+// TestBatchedStepMatchesReference drives the batched Bits and the naive
+// single-step reference in lockstep over many seeds and widths: identical
+// outputs and identical LFSR states after every draw, including widths
+// that exercise the partial-batch tail (n not a multiple of 8).
+func TestBatchedStepMatchesReference(t *testing.T) {
+	widths := []int{0, 1, 2, 5, 7, 8, 9, 15, 16, 24, 31, 32, 33, 53, 63, 64}
+	for seed := uint64(0); seed < 25; seed++ {
+		a := New(seed * 0x9E3779B9)
+		b := a.Clone()
+		for i, n := range append(widths, widths...) {
+			got, want := a.Bits(n), referenceBits(b, n)
+			if got != want {
+				t.Fatalf("seed %d draw %d: Bits(%d) = %#x, reference %#x", seed, i, n, got, want)
+			}
+			a32, a31, a29 := a.State()
+			b32, b31, b29 := b.State()
+			if a32 != b32 || a31 != b31 || a29 != b29 {
+				t.Fatalf("seed %d draw %d: state diverged after Bits(%d)", seed, i, n)
+			}
+		}
+	}
+}
+
+// TestBatchTablesMatchSingleSteps checks the table construction directly:
+// step8 must equal eight step() calls from any reachable state.
+func TestBatchTablesMatchSingleSteps(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a := New(seed)
+		b := a.Clone()
+		var want uint32
+		for j := 0; j < 8; j++ {
+			want |= b.step() << uint(j)
+		}
+		if got := a.step8(); got != want {
+			t.Fatalf("seed %d: step8 = %#x, eight steps %#x", seed, got, want)
+		}
+		a32, a31, a29 := a.State()
+		b32, b31, b29 := b.State()
+		if a32 != b32 || a31 != b31 || a29 != b29 {
+			t.Fatalf("seed %d: step8 state (%#x,%#x,%#x) != stepped (%#x,%#x,%#x)",
+				seed, a32, a31, a29, b32, b31, b29)
+		}
+	}
+}
+
 func TestSource64Contract(t *testing.T) {
 	s := Source64{P: New(11)}
 	for i := 0; i < 1000; i++ {

@@ -115,9 +115,17 @@ func TestDuplicateSubmissionCoalesces(t *testing.T) {
 
 // TestEventStream checks the NDJSON contract: the stream delivers live
 // Events for an in-flight campaign and terminates with an "end" line on
-// completion.
+// completion. Events stream live-only (late subscribers get just the end
+// line, see TestEventStreamAfterCompletion), and since the PR-5 replay
+// kernels a 60-run campaign finishes in single-digit milliseconds —
+// faster than the HTTP subscribe — so the test pins the target behind a
+// blocker campaign on a single job slot: the subscriber attaches while
+// the target is still queued, deterministically ahead of its first run.
 func TestEventStream(t *testing.T) {
-	_, ts := testServer(t, Config{})
+	_, ts := testServer(t, Config{Jobs: 1})
+	if _, code := postCampaign(t, ts, `{"workload":"synth160k","placement":"RM","runs":30,"seed":9}`); code != http.StatusAccepted {
+		t.Fatalf("blocker submit code = %d", code)
+	}
 	sub, code := postCampaign(t, ts, `{"workload":"puwmod01","placement":"RM","runs":60,"seed":3}`)
 	if code != http.StatusAccepted {
 		t.Fatalf("submit code = %d", code)

@@ -91,6 +91,11 @@ type Core struct {
 	// plan is the reusable per-run index-plan scratch of the compiled
 	// execution path (see RunCompiled).
 	plan indexPlan
+	// kil1/kdl1/kl2 are the monomorphic replay kernels of the compiled
+	// path, bound once per level at construction (each kernel aliases its
+	// cache's tag state and pre-selects the access functions for the
+	// level's replacement kind and write arrangement).
+	kil1, kdl1, kl2 *cache.Kernel
 }
 
 // New builds the platform. The L2 configuration describes this core's
@@ -113,7 +118,12 @@ func New(cfg Config) (*Core, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Core{il1: il1, dl1: dl1, l2: l2, lat: lat}, nil
+	return &Core{
+		il1: il1, dl1: dl1, l2: l2, lat: lat,
+		kil1: cache.NewKernel(il1),
+		kdl1: cache.NewKernel(dl1),
+		kl2:  cache.NewKernel(l2),
+	}, nil
 }
 
 // Caches returns the three levels, for inspection and reports.

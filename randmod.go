@@ -78,6 +78,22 @@ const (
 // PlatformSpec describes the simulated platform.
 type PlatformSpec = core.PlatformSpec
 
+// CacheSetup selects the policies of one cache level of a PlatformSpec.
+type CacheSetup = core.CacheSetup
+
+// WriteSetup optionally overrides a cache level's write arrangement (the
+// zero value keeps the platform convention: write-through no-allocate
+// L1s, write-back L2).
+type WriteSetup = core.WriteSetup
+
+// Write arrangements.
+const (
+	WriteDefault        = core.WriteDefault
+	WriteThroughNoAlloc = core.WriteThroughNoAlloc
+	WriteThroughAlloc   = core.WriteThroughAlloc
+	WriteBackAlloc      = core.WriteBackAlloc
+)
+
 // PaperPlatform returns the paper's evaluation platform with the given L1
 // placement (16KB 4-way L1s, 128KB 4-way L2 partition, 32B lines; the L2
 // uses hRP, everything random-replacement).

@@ -69,6 +69,11 @@ func TestPublicPlatformSpecs(t *testing.T) {
 	if d.IL1.Placement != Modulo || d.IL1.Replacement != LRU {
 		t.Fatal("deterministic platform wrong")
 	}
+	// The write-arrangement override is part of the public surface.
+	p.DL1 = CacheSetup{Placement: RM, Replacement: Random, Write: WriteBackAlloc}
+	if _, err := p.Build(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestPublicHardwareModels(t *testing.T) {
