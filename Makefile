@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race vet fmt lint verify smoke smoke-serve serve bench bench-hotpath bench-json bench-compare full-bench
+.PHONY: build test test-short race vet fmt lint rmlint check-noalloc vuln fuzz-short verify smoke smoke-serve serve bench bench-hotpath bench-json bench-compare full-bench
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,38 @@ vet:
 fmt:
 	gofmt -w .
 
-# Fails when any file needs gofmt; CI's lint gate.
+# Fails when any file needs gofmt; CI's lint gate. rmlint is the house
+# static-analysis suite (determinism / hotpath / prngdiscipline / ctxflow
+# contracts; see README "Static analysis").
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/rmlint ./...
+
+# The custom analyzers alone (also runs as a vettool:
+# go build -o /tmp/rmlint ./cmd/rmlint && go vet -vettool=/tmp/rmlint ./...).
+rmlint:
+	$(GO) run ./cmd/rmlint ./...
+
+# Escape-analysis half of the zero-alloc contract: no //rm:hotpath span
+# may contain heap traffic per go build -gcflags=-m.
+check-noalloc:
+	sh scripts/check-noalloc.sh
+
+# Known-vulnerability scan; skipped gracefully where govulncheck (or the
+# network its database needs) is unavailable, so offline verify still
+# passes.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || echo "vuln: govulncheck failed (offline?); not blocking verify"; \
+	else \
+		echo "vuln: govulncheck not installed; skipping"; \
+	fi
+
+# Seed-corpus fuzz pass over the compiled-replay equivalence oracle (CI
+# runs the same target with a time budget).
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz=FuzzAccessEquivalence -fuzztime=10s ./internal/cache
 
 test:
 	$(GO) test ./...
@@ -28,8 +56,9 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# The tier-1 gate plus lint and the race detector.
-verify: lint build race
+# The tier-1 gate plus lint, the zero-alloc gate, the vulnerability scan
+# and the race detector.
+verify: lint build check-noalloc vuln race
 
 # Exercise the binaries end-to-end at smoke scale (what CI runs).
 smoke:

@@ -118,6 +118,8 @@ func NewKernel(c *Cache) *Kernel {
 
 // Begin starts a run: counters reset and the replacement tick is
 // snapshotted from the cache.
+//
+//rm:hotpath
 func (k *Kernel) Begin() {
 	k.tick = k.c.tick
 	k.accesses, k.hits, k.evictions, k.writebacks = 0, 0, 0, 0
@@ -126,6 +128,8 @@ func (k *Kernel) Begin() {
 // End finishes a run: the tick and the accumulated counters flush back
 // into the cache (so cumulative Cache.Stats stay exact), and the per-run
 // Stats delta is returned.
+//
+//rm:hotpath
 func (k *Kernel) End() Stats {
 	k.c.tick = k.tick
 	d := Stats{
@@ -147,14 +151,20 @@ func (k *Kernel) End() Stats {
 // Read performs a load or fetch of line la with a precomputed set index;
 // bit-identical in behaviour, counters and RNG draws to the legacy
 // ReadLine (see the fuzz and differential tests).
+//
+//rm:hotpath
 func (k *Kernel) Read(la uint64, set uint32) AccessBits { return k.read(k, la, set) }
 
 // Write performs a store to line la with a precomputed set index; see Read.
+//
+//rm:hotpath
 func (k *Kernel) Write(la uint64, set uint32) AccessBits { return k.write(k, la, set) }
 
 // install places la into way w of set, accounting an eviction (and a
 // writeback for a dirty victim), and returns the fill outcome. Shared cold
 // path of every fill.
+//
+//rm:hotpath
 func (k *Kernel) install(la uint64, set uint32, w int, dirty bool) AccessBits {
 	bit := uint64(1) << uint(w)
 	r := BitFilled
@@ -177,6 +187,8 @@ func (k *Kernel) install(la uint64, set uint32, w int, dirty bool) AccessBits {
 }
 
 // plruProtect updates the PLRU tree so the path to way w points away.
+//
+//rm:hotpath
 func (k *Kernel) plruProtect(set uint32, w int) {
 	node := 0
 	treeBits := k.plru[set]
@@ -195,6 +207,7 @@ func (k *Kernel) plruProtect(set uint32, w int) {
 // ---------------------------------------------------------------------------
 // Fills: the per-replacement miss paths (victim selection + install).
 
+//rm:hotpath
 func (k *Kernel) fillLRU(la uint64, set uint32, dirty bool) AccessBits {
 	base := int(set) * k.ways
 	var w int
@@ -215,6 +228,7 @@ func (k *Kernel) fillLRU(la uint64, set uint32, dirty bool) AccessBits {
 	return r
 }
 
+//rm:hotpath
 func (k *Kernel) fillFIFO(la uint64, set uint32, dirty bool) AccessBits {
 	base := int(set) * k.ways
 	var w int
@@ -235,6 +249,7 @@ func (k *Kernel) fillFIFO(la uint64, set uint32, dirty bool) AccessBits {
 	return r
 }
 
+//rm:hotpath
 func (k *Kernel) fillPLRU(la uint64, set uint32, dirty bool) AccessBits {
 	var w int
 	if free := ^k.valid[set] & k.wayMask; free != 0 {
@@ -253,6 +268,7 @@ func (k *Kernel) fillPLRU(la uint64, set uint32, dirty bool) AccessBits {
 	return r
 }
 
+//rm:hotpath
 func (k *Kernel) fillRandom(la uint64, set uint32, dirty bool) AccessBits {
 	// Evict-on-miss: any way with probability 1/W, invalid ways included,
 	// drawn from the cache's replacement stream (same draw order as the
@@ -266,6 +282,7 @@ func (k *Kernel) fillRandom(la uint64, set uint32, dirty bool) AccessBits {
 // check, which install handles uniformly (write-through levels simply
 // never have dirty bits set).
 
+//rm:hotpath
 func readLRU(k *Kernel, la uint64, set uint32) AccessBits {
 	k.accesses++
 	base := int(set) * k.ways
@@ -281,6 +298,7 @@ func readLRU(k *Kernel, la uint64, set uint32) AccessBits {
 	return k.fillLRU(la, set, false)
 }
 
+//rm:hotpath
 func readFIFO(k *Kernel, la uint64, set uint32) AccessBits {
 	k.accesses++
 	base := int(set) * k.ways
@@ -294,6 +312,7 @@ func readFIFO(k *Kernel, la uint64, set uint32) AccessBits {
 	return k.fillFIFO(la, set, false)
 }
 
+//rm:hotpath
 func readPLRU(k *Kernel, la uint64, set uint32) AccessBits {
 	k.accesses++
 	base := int(set) * k.ways
@@ -308,6 +327,7 @@ func readPLRU(k *Kernel, la uint64, set uint32) AccessBits {
 	return k.fillPLRU(la, set, false)
 }
 
+//rm:hotpath
 func readRandom(k *Kernel, la uint64, set uint32) AccessBits {
 	k.accesses++
 	base := int(set) * k.ways
@@ -329,6 +349,7 @@ func readRandom(k *Kernel, la uint64, set uint32) AccessBits {
 // Write-through allocate: a store miss fills, but the line stays clean.
 // Write-back: hits and fills dirty the line; misses always allocate.
 
+//rm:hotpath
 func writeLRUThroughNoAlloc(k *Kernel, la uint64, set uint32) AccessBits {
 	k.accesses++
 	base := int(set) * k.ways
@@ -344,6 +365,7 @@ func writeLRUThroughNoAlloc(k *Kernel, la uint64, set uint32) AccessBits {
 	return 0
 }
 
+//rm:hotpath
 func writeLRUThroughAlloc(k *Kernel, la uint64, set uint32) AccessBits {
 	k.accesses++
 	base := int(set) * k.ways
@@ -359,6 +381,7 @@ func writeLRUThroughAlloc(k *Kernel, la uint64, set uint32) AccessBits {
 	return k.fillLRU(la, set, false)
 }
 
+//rm:hotpath
 func writeLRUBack(k *Kernel, la uint64, set uint32) AccessBits {
 	k.accesses++
 	base := int(set) * k.ways
@@ -375,6 +398,7 @@ func writeLRUBack(k *Kernel, la uint64, set uint32) AccessBits {
 	return k.fillLRU(la, set, true)
 }
 
+//rm:hotpath
 func writeFIFOThroughNoAlloc(k *Kernel, la uint64, set uint32) AccessBits {
 	k.accesses++
 	base := int(set) * k.ways
@@ -388,6 +412,7 @@ func writeFIFOThroughNoAlloc(k *Kernel, la uint64, set uint32) AccessBits {
 	return 0
 }
 
+//rm:hotpath
 func writeFIFOThroughAlloc(k *Kernel, la uint64, set uint32) AccessBits {
 	k.accesses++
 	base := int(set) * k.ways
@@ -401,6 +426,7 @@ func writeFIFOThroughAlloc(k *Kernel, la uint64, set uint32) AccessBits {
 	return k.fillFIFO(la, set, false)
 }
 
+//rm:hotpath
 func writeFIFOBack(k *Kernel, la uint64, set uint32) AccessBits {
 	k.accesses++
 	base := int(set) * k.ways
@@ -415,6 +441,7 @@ func writeFIFOBack(k *Kernel, la uint64, set uint32) AccessBits {
 	return k.fillFIFO(la, set, true)
 }
 
+//rm:hotpath
 func writePLRUThroughNoAlloc(k *Kernel, la uint64, set uint32) AccessBits {
 	k.accesses++
 	base := int(set) * k.ways
@@ -429,6 +456,7 @@ func writePLRUThroughNoAlloc(k *Kernel, la uint64, set uint32) AccessBits {
 	return 0
 }
 
+//rm:hotpath
 func writePLRUThroughAlloc(k *Kernel, la uint64, set uint32) AccessBits {
 	k.accesses++
 	base := int(set) * k.ways
@@ -443,6 +471,7 @@ func writePLRUThroughAlloc(k *Kernel, la uint64, set uint32) AccessBits {
 	return k.fillPLRU(la, set, false)
 }
 
+//rm:hotpath
 func writePLRUBack(k *Kernel, la uint64, set uint32) AccessBits {
 	k.accesses++
 	base := int(set) * k.ways
@@ -458,6 +487,7 @@ func writePLRUBack(k *Kernel, la uint64, set uint32) AccessBits {
 	return k.fillPLRU(la, set, true)
 }
 
+//rm:hotpath
 func writeRandomThroughNoAlloc(k *Kernel, la uint64, set uint32) AccessBits {
 	k.accesses++
 	base := int(set) * k.ways
@@ -471,6 +501,7 @@ func writeRandomThroughNoAlloc(k *Kernel, la uint64, set uint32) AccessBits {
 	return 0
 }
 
+//rm:hotpath
 func writeRandomThroughAlloc(k *Kernel, la uint64, set uint32) AccessBits {
 	k.accesses++
 	base := int(set) * k.ways
@@ -484,6 +515,7 @@ func writeRandomThroughAlloc(k *Kernel, la uint64, set uint32) AccessBits {
 	return k.fillRandom(la, set, false)
 }
 
+//rm:hotpath
 func writeRandomBack(k *Kernel, la uint64, set uint32) AccessBits {
 	k.accesses++
 	base := int(set) * k.ways

@@ -190,6 +190,7 @@ func (c Campaign) Request() Request {
 // Engine.Run(ctx, c.Request()) instead.
 func (c Campaign) Run() (CampaignResult, error) {
 	r := Runner{Pool: NewPool(c.Workers)}
+	//rm:ctxroot deprecated blocking shim; the replacement Engine.Run takes the caller's ctx
 	res, err := r.Run(context.Background(), c.Request())
 	if err != nil {
 		return CampaignResult{}, err
@@ -255,6 +256,7 @@ func (c HWMCampaign) Request() Request {
 // Use Engine.Run(ctx, c.Request()) instead.
 func (c HWMCampaign) Run() (HWMResult, error) {
 	r := Runner{Pool: NewPool(c.Workers)}
+	//rm:ctxroot deprecated blocking shim; the replacement Engine.Run takes the caller's ctx
 	res, err := r.Run(context.Background(), c.Request())
 	if err != nil {
 		return HWMResult{}, err
@@ -322,6 +324,7 @@ func Analyze(times []float64) (Analysis, error) {
 // that exact cycle counting produces. The amplitude (under one cycle) is
 // far below any simulated latency, so distribution shape is unaffected.
 func ditherTies(xs []float64) []float64 {
+	//rm:deterministic fixed-seed tie dithering: one shared stream keeps the perturbation reproducible and identical across campaigns (pinned by BENCH_PR*.json)
 	g := prng.New(0xD17E4)
 	out := make([]float64, len(xs))
 	for i, x := range xs {
@@ -339,6 +342,7 @@ func RunAndAnalyze(c Campaign) (CampaignResult, Analysis, error) {
 	req := c.Request()
 	req.Analyze = true
 	r := Runner{Pool: NewPool(c.Workers)}
+	//rm:ctxroot deprecated blocking shim; the replacement Engine.Run takes the caller's ctx
 	res, err := r.Run(context.Background(), req)
 	if err != nil || res.Analysis == nil {
 		return res.CampaignResult, Analysis{}, err

@@ -94,6 +94,7 @@ func (p *Pool) release() { <-p.slots }
 // returned. Exposed for drivers whose execution context is not a single
 // sim.Core (e.g. the multicore contention study's sim.System).
 func ShardRuns[T any](workers, runs int, build func() (T, error), do func(ctx T, run int) error) error {
+	//rm:ctxroot compatibility wrapper; callers that can cancel use ShardRunsContext
 	return ShardRunsContext(context.Background(), workers, runs, build, do)
 }
 

@@ -181,6 +181,7 @@ func ETTest(xs []float64, tailFrac float64) (ETResult, error) {
 	// Null distribution of the statistic for this tail size, by simulation
 	// with a fixed seed so results are reproducible.
 	const reps = 400
+	//rm:deterministic fixed-seed null-distribution simulation: the ET-test p-value must be identical on every invocation (pinned by BENCH_PR*.json)
 	g := prng.New(0xE7E7)
 	ge := 0
 	sim := make([]float64, len(exc))

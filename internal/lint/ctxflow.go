@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow returns the analyzer enforcing the repository's context and
+// CLI conventions:
+//
+//   - context.Context parameters come first (after the receiver), the
+//     Engine-era API rule from PR 2.
+//   - context.Background()/context.TODO() appear only in main packages
+//     and tests; libraries receive their context from the caller so
+//     cancellation reaches every campaign. Deliberate lifecycle roots
+//     (the service base context, the deprecated blocking shims) carry an
+//     //rm:ctxroot justification.
+//   - Usage errors in commands exit 2, the convention every CLI here
+//     shares (cf. paperbench -exp): a usage print (flag.Usage or a
+//     message containing "usage") must be followed by os.Exit(2), and
+//     constant exit codes other than 0, 1, 2 are flagged.
+func CtxFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxflow",
+		Doc:  "context placement, context roots, and CLI exit-code conventions",
+	}
+	a.Run = func(pass *Pass) error {
+		isMain := pass.Pkg.Name() == "main"
+		for _, f := range pass.Files {
+			inTest := pass.isTestFile(f.Pos())
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					checkCtxParam(pass, n.Type, n.Name.Name)
+				case *ast.FuncLit:
+					checkCtxParam(pass, n.Type, "func literal")
+				case *ast.CallExpr:
+					checkCtxRoot(pass, n, isMain, inTest)
+				case *ast.BlockStmt:
+					if isMain && !inTest {
+						checkUsageExits(pass, n)
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func checkCtxParam(pass *Pass, ft *ast.FuncType, name string) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if ok && tv.Type != nil && isContextType(tv.Type) && idx > 0 {
+			pass.Reportf(field.Pos(), "context.Context is parameter %d of %s: context goes first so cancellation plumbing is uniform", idx+1, name)
+			return
+		}
+		idx += n
+	}
+}
+
+func checkCtxRoot(pass *Pass, call *ast.CallExpr, isMain, inTest bool) {
+	if isMain || inTest {
+		return
+	}
+	obj := calleeOf(pass.Info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return
+	}
+	if obj.Name() != "Background" && obj.Name() != "TODO" {
+		return
+	}
+	if pass.Suppressed(call.Pos(), "ctxroot") {
+		return
+	}
+	pass.Reportf(call.Pos(), "context.%s() outside a main package or test: accept a ctx from the caller so cancellation propagates, or justify a lifecycle root with //rm:ctxroot", obj.Name())
+}
+
+// checkUsageExits enforces exit-code discipline statement-by-statement
+// within one block: after a usage print, the next os.Exit in the block
+// must pass 2.
+func checkUsageExits(pass *Pass, block *ast.BlockStmt) {
+	sawUsage := false
+	for _, stmt := range block.List {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if isUsagePrint(pass, call) {
+			sawUsage = true
+			continue
+		}
+		if code, isExit := exitCode(pass, call); isExit {
+			if code != nil {
+				if sawUsage && *code != 2 {
+					pass.Reportf(call.Pos(), "os.Exit(%d) after a usage message: usage errors exit 2 (house convention, cf. paperbench -exp)", *code)
+				}
+				if *code < 0 || *code > 2 {
+					pass.Reportf(call.Pos(), "os.Exit(%d): this repository's CLIs use 0 (ok), 1 (runtime failure) and 2 (usage error)", *code)
+				}
+			}
+			sawUsage = false
+		}
+	}
+}
+
+// isUsagePrint recognizes the usage-path idioms: a call to flag.Usage or
+// (*flag.FlagSet).Usage, flag.PrintDefaults, or an fmt/print call whose
+// first string literal mentions "usage".
+func isUsagePrint(pass *Pass, call *ast.CallExpr) bool {
+	if obj := calleeOf(pass.Info, call); obj != nil && obj.Pkg() != nil {
+		if obj.Pkg().Path() == "flag" && (obj.Name() == "Usage" || obj.Name() == "PrintDefaults") {
+			return true
+		}
+		if obj.Pkg().Path() != "fmt" {
+			return false
+		}
+	} else if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Usage" {
+		// fs.Usage() where fs is a *flag.FlagSet field value.
+		if tv, ok := pass.Info.Types[sel.X]; ok && tv.Type != nil && strings.Contains(tv.Type.String(), "flag.FlagSet") {
+			return true
+		}
+		return false
+	} else {
+		return false
+	}
+	for _, arg := range call.Args {
+		if tv, ok := pass.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			if strings.Contains(strings.ToLower(constant.StringVal(tv.Value)), "usage") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exitCode reports whether call is os.Exit and, when the argument is
+// constant, its value.
+func exitCode(pass *Pass, call *ast.CallExpr) (*int, bool) {
+	obj := calleeOf(pass.Info, call)
+	if obj == nil || !isPkgFunc(obj, "os", "Exit") || len(call.Args) != 1 {
+		return nil, false
+	}
+	if tv, ok := pass.Info.Types[call.Args[0]]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(tv.Value); exact {
+			c := int(v)
+			return &c, true
+		}
+	}
+	return nil, true
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestCtxFlowLibrary(t *testing.T) {
+	linttest.Run(t, "testdata", lint.CtxFlow(), "ctxflow")
+}
+
+func TestCtxFlowMainPackage(t *testing.T) {
+	linttest.Run(t, "testdata", lint.CtxFlow(), "ctxflow/cmd")
+}

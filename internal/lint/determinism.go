@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// forbiddenImports are whole packages that have no legitimate use in a
+// result-affecting package: every random draw must come from the
+// seed-derived internal/prng streams or the results stop being
+// reproducible (and the MBPTA i.i.d. premise stops holding).
+var forbiddenImports = map[string]string{
+	"math/rand":    "uncontrolled randomness; use the seed-derived internal/prng streams",
+	"math/rand/v2": "uncontrolled randomness; use the seed-derived internal/prng streams",
+	"crypto/rand":  "uncontrolled randomness; use the seed-derived internal/prng streams",
+}
+
+// forbiddenCalls are single functions whose results differ run-to-run:
+// wall-clock reads and environment lookups smuggle ambient state into
+// what must be a pure function of (request, seed).
+var forbiddenCalls = map[[2]string]string{
+	{"time", "Now"}:       "wall-clock read",
+	{"os", "Getenv"}:      "environment read",
+	{"os", "LookupEnv"}:   "environment read",
+	{"os", "Environ"}:     "environment read",
+	{"os", "Hostname"}:    "host identity read",
+	{"runtime", "NumCPU"}: "host shape read",
+}
+
+// Determinism returns the analyzer enforcing the no-uncontrolled-
+// nondeterminism contract in the given result-affecting packages
+// (matched exactly against the package import path). It forbids the
+// imports and calls above and flags `range` over a map whose body
+// publishes anything derived from the (unspecified) iteration order:
+// writes to variables declared outside the loop, appends, channel sends,
+// or PRNG draws. A finding is waived only by an //rm:deterministic
+// comment with a justification.
+func Determinism(pkgs []string) *Analyzer {
+	covered := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		covered[p] = true
+	}
+	a := &Analyzer{
+		Name: "determinism",
+		Doc:  "forbid uncontrolled nondeterminism in result-affecting packages",
+	}
+	a.Run = func(pass *Pass) error {
+		if !covered[pass.Path] {
+			return nil
+		}
+		for _, f := range pass.Files {
+			if pass.isTestFile(f.Pos()) {
+				continue
+			}
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if why, bad := forbiddenImports[path]; bad && !pass.Suppressed(imp.Pos(), "deterministic") {
+					pass.Reportf(imp.Pos(), "import of %s in result-affecting package %s: %s", path, pass.Path, why)
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkForbiddenCall(pass, n)
+				case *ast.RangeStmt:
+					checkMapRange(pass, n)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func checkForbiddenCall(pass *Pass, call *ast.CallExpr) {
+	obj := calleeOf(pass.Info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	why, bad := forbiddenCalls[[2]string{obj.Pkg().Path(), obj.Name()}]
+	if !bad || pass.Suppressed(call.Pos(), "deterministic") {
+		return
+	}
+	pass.Reportf(call.Pos(), "call to %s.%s in result-affecting package %s: %s makes results irreproducible",
+		obj.Pkg().Name(), obj.Name(), pass.Path, why)
+}
+
+// checkMapRange flags map iterations whose body is order-sensitive. Map
+// iteration order is randomized by the runtime, so anything the body
+// publishes in that order (an appended slice, an outer accumulator that
+// is not commutative, a channel, a PRNG stream advanced per element)
+// varies run-to-run.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if pass.Suppressed(rng.Pos(), "deterministic") {
+		return
+	}
+	if reason := orderSensitiveUse(pass, rng); reason != "" {
+		pass.Reportf(rng.Pos(), "range over map with order-sensitive body (%s): map iteration order is randomized; iterate sorted keys or justify with //rm:deterministic", reason)
+	}
+}
+
+// orderSensitiveUse returns a short description of the first construct in
+// the range body that makes iteration order observable, or "".
+func orderSensitiveUse(pass *Pass, rng *ast.RangeStmt) string {
+	inBody := func(obj types.Object) bool {
+		return obj != nil && rng.Body.Pos() <= obj.Pos() && obj.Pos() < rng.Body.End()
+	}
+	loopVar := func(e ast.Expr) types.Object {
+		if id, ok := e.(*ast.Ident); ok {
+			return pass.Info.Defs[id]
+		}
+		return nil
+	}
+	keyObj, valObj := loopVar(rng.Key), loopVar(rng.Value)
+
+	reason := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			reason = "channel send"
+		case *ast.CallExpr:
+			if obj := calleeOf(pass.Info, n); obj != nil {
+				if obj.Name() == "append" && obj.Pkg() == nil {
+					reason = "append"
+				} else if isPRNGDraw(obj) {
+					reason = "PRNG draw per element"
+				}
+			}
+		case *ast.AssignStmt:
+			// An append through an assignment reads better labeled as the
+			// append it is.
+			viaAppend := false
+			for _, rhs := range n.Rhs {
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					if obj := calleeOf(pass.Info, call); obj != nil && obj.Pkg() == nil && obj.Name() == "append" {
+						viaAppend = true
+					}
+				}
+			}
+			for _, lhs := range n.Lhs {
+				obj := baseObject(pass.Info, lhs)
+				if obj == nil || obj == keyObj || obj == valObj || inBody(obj) {
+					continue
+				}
+				// Writing through an outer map by key is order-safe
+				// (last write per key wins regardless of order) as long
+				// as the key is the loop key; anything else publishes
+				// order.
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if kid, ok := ast.Unparen(ix.Index).(*ast.Ident); ok && keyObj != nil && pass.Info.Uses[kid] == keyObj {
+						if tv, ok := pass.Info.Types[ix.X]; ok && tv.Type != nil {
+							if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+								continue
+							}
+						}
+					}
+				}
+				if viaAppend {
+					reason = "append"
+				} else {
+					reason = "write to outer variable " + obj.Name()
+				}
+				break
+			}
+		case *ast.IncDecStmt:
+			// A bare counter increment is commutative and therefore
+			// order-safe; don't flag n++ on outer ints.
+			return true
+		}
+		return reason == ""
+	})
+	return reason
+}
+
+// baseObject resolves the outermost identifier of an assignable
+// expression (x, x.f, x[i], *x ...) to its object.
+func baseObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if x.Name == "_" {
+				return nil
+			}
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isPRNGDraw reports whether obj is a drawing method of the project PRNG
+// (package named prng, method on PRNG) or prng.New itself: advancing a
+// stream once per map element consumes draws in map order, which breaks
+// the draw-order half of the bit-exactness contract.
+func isPRNGDraw(obj types.Object) bool {
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != "prng" {
+		return false
+	}
+	switch obj.Name() {
+	case "New", "Bits", "Uint32", "Uint64", "Intn", "Float64", "Reseed", "Derive":
+		return true
+	}
+	return false
+}
+
+// prngNewCall reports whether call is prng.New(...) and returns the seed
+// argument.
+func prngNewCall(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	obj := calleeOf(info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != "prng" || obj.Name() != "New" {
+		return nil, false
+	}
+	if len(call.Args) != 1 {
+		return nil, false
+	}
+	return call.Args[0], true
+}

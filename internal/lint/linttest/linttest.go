@@ -1,0 +1,130 @@
+// Package linttest runs lint analyzers over analysistest-style fixture
+// trees and checks their findings against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// stack.
+//
+// Fixtures live under testdata/src/<pkg>; a line expecting diagnostics
+// carries a trailing comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// with one quoted regular expression per expected diagnostic on that
+// line. Every diagnostic must be wanted and every want must be matched,
+// in both directions, or the test fails.
+package linttest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRe matches one quoted expectation inside a // want comment:
+// double-quoted (Go escapes apply) or backquoted (raw), as in
+// analysistest.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Run loads each fixture package from <testdata>/src and applies the
+// analyzer, comparing findings to the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	loader := lint.NewTestdataLoader(filepath.Join(testdata, "src"))
+	pkgs, err := loader.Load(pkgpaths...)
+	if err != nil {
+		t.Fatalf("linttest: load %v: %v", pkgpaths, err)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: run %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, loader.Fset(), pkgs)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none", a.Name, w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants scans every fixture file's comments for want
+// expectations.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*lint.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
+						pat := m[2] // backquoted: raw
+						if m[1] != "" || m[2] == "" {
+							var err error
+							pat, err = strconv.Unquote(`"` + m[1] + `"`)
+							if err != nil {
+								t.Fatalf("linttest: %s: bad want pattern %s: %v", pos, m[0], err)
+							}
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("linttest: %s: bad want regexp %q: %v", pos, pat, err)
+						}
+						wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("linttest: fixtures declare no // want expectations")
+	}
+	return wants
+}
+
+// Findings loads the fixture packages and returns the raw diagnostics,
+// for tests that assert on counts or suppression behaviour directly.
+func Findings(t *testing.T, testdata string, a *lint.Analyzer, pkgpaths ...string) []lint.Diagnostic {
+	t.Helper()
+	loader := lint.NewTestdataLoader(filepath.Join(testdata, "src"))
+	pkgs, err := loader.Load(pkgpaths...)
+	if err != nil {
+		t.Fatalf("linttest: load %v: %v", pkgpaths, err)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: run %s: %v", a.Name, err)
+	}
+	return diags
+}

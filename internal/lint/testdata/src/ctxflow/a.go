@@ -1,0 +1,23 @@
+// Package ctxflow is the fixture for the context/CLI-convention
+// analyzer (library half; the cmd half lives in ctxflow/cmd).
+package ctxflow
+
+import "context"
+
+func First(ctx context.Context, n int) { _ = ctx; _ = n }
+
+func Second(n int, ctx context.Context) { _ = ctx; _ = n } // want `context.Context is parameter 2 of Second`
+
+func inLiteral() {
+	f := func(n int, ctx context.Context) { _ = ctx } // want `context.Context is parameter 2 of func literal`
+	f(0, context.TODO())                              // want `context.TODO\(\) outside a main package`
+}
+
+func Root() context.Context {
+	return context.Background() // want `context.Background\(\) outside a main package`
+}
+
+func JustifiedRoot() context.Context {
+	//rm:ctxroot server lifecycle root, cancelled by Close
+	return context.Background()
+}

@@ -1,0 +1,35 @@
+// Command fixture: exit-code discipline in main packages.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "usage: cmd [flags]")
+		os.Exit(1) // want `os.Exit\(1\) after a usage message: usage errors exit 2`
+	}
+	ctx := context.Background() // main packages may own the root context
+	_ = ctx
+	os.Exit(7) // want `os.Exit\(7\): this repository's CLIs use 0 \(ok\), 1 \(runtime failure\) and 2 \(usage error\)`
+}
+
+func usageOK() {
+	fmt.Fprintln(os.Stderr, "usage: cmd [flags]")
+	os.Exit(2)
+}
+
+func usageVar() {
+	flag.Usage()
+	os.Exit(1) // want `os.Exit\(1\) after a usage message: usage errors exit 2`
+}
+
+func runtimeFailure(err error) {
+	fmt.Fprintln(os.Stderr, "cmd:", err)
+	os.Exit(1) // error exit, not a usage path: allowed
+}

@@ -1,0 +1,92 @@
+// Package determinism is the fixture for the determinism analyzer: it
+// is configured as a result-affecting package in the test.
+package determinism
+
+import (
+	"crypto/rand"     // want `import of crypto/rand in result-affecting package determinism`
+	mrand "math/rand" // want `import of math/rand in result-affecting package determinism`
+	"os"
+	"sort"
+	"time"
+
+	"prng"
+)
+
+func clock() int64 {
+	return time.Now().UnixNano() // want `call to time.Now in result-affecting package determinism`
+}
+
+//rm:deterministic wall time feeds only the progress display, never results
+func clockJustified() int64 { return time.Now().UnixNano() }
+
+func env() string {
+	return os.Getenv("REPRO_WORKERS") // want `call to os.Getenv in result-affecting package determinism`
+}
+
+func keepImportsAlive() {
+	_ = mrand.Int
+	_ = rand.Read
+}
+
+func mapAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map with order-sensitive body \(append\)`
+		out = append(out, k)
+	}
+	return out
+}
+
+func mapCount(m map[string]int) int {
+	n := 0
+	for range m { // commutative counter: order-safe, no finding
+		n++
+	}
+	return n
+}
+
+func mapSum(m map[string]int) int {
+	n := 0
+	for _, v := range m { // want `range over map with order-sensitive body \(write to outer variable n\)`
+		n = n + v
+	}
+	return n
+}
+
+func mapCopy(src map[string]int) map[string]int {
+	dst := map[string]int{}
+	for k, v := range src { // keyed write by the loop key: order-safe
+		dst[k] = v
+	}
+	return dst
+}
+
+func mapSend(m map[string]int, ch chan string) {
+	for k := range m { // want `range over map with order-sensitive body \(channel send\)`
+		ch <- k
+	}
+}
+
+func mapDraw(m map[string]int, g *prng.PRNG) {
+	for range m { // want `range over map with order-sensitive body \(PRNG draw per element\)`
+		g.Uint64()
+	}
+}
+
+func mapSuppressed(m map[string]int) []string {
+	var out []string
+	//rm:deterministic keys are sorted immediately below, order cannot leak
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mapUnjustified(m map[string]int) []string {
+	var out []string
+	//rm:deterministic
+	for k := range m { // want `//rm:deterministic annotation needs a justification`
+		out = append(out, k)
+	}
+	return out
+}

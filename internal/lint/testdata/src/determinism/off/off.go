@@ -1,0 +1,17 @@
+// Package off is NOT configured as result-affecting: the same constructs
+// must produce zero findings here.
+package off
+
+import "time"
+
+func Clock() int64 {
+	return time.Now().UnixNano()
+}
+
+func MapAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+// Package hotpath is the fixture for the zero-alloc hot-path analyzer.
+package hotpath
+
+import "fmt"
+
+type K struct {
+	buf  []int
+	tick uint64
+}
+
+func release() {}
+
+func work() {}
+
+//rm:hotpath
+func (k *K) Bad(v int) {
+	defer release()              // want `defer in hot path Bad`
+	go work()                    // want `go statement in hot path Bad`
+	f := func() int { return v } // want `closure literal in hot path Bad`
+	_ = f
+	m := map[int]int{v: v} // want `map literal in hot path Bad`
+	_ = m
+	s := []int{v} // want `slice literal in hot path Bad`
+	_ = s
+	b := make([]int, v) // want `make in hot path Bad`
+	_ = b
+	p := new(int) // want `new in hot path Bad`
+	_ = p
+	k.buf = append(k.buf, v) // want `append to a non-resliced destination in hot path Bad`
+	fmt.Println(v)           // want `fmt.Println call in hot path Bad`
+	j := any(v)              // want `conversion to interface any in hot path Bad`
+	_ = j
+	bs := []byte("x") // want `string/\[\]byte conversion in hot path Bad`
+	_ = bs
+}
+
+//rm:hotpath
+func (k *K) Good(v int) int {
+	k.buf = append(k.buf[:0], v) // reslice of preallocated scratch: allowed
+	if v < 0 {
+		panic(fmt.Sprintf("hotpath: negative v %d", v)) // fmt feeding panic directly is exempt
+	}
+	k.tick++
+	return k.buf[0]
+}
+
+// Cold is not annotated: the same constructs are fine off the hot path.
+func Cold(v int) []int {
+	defer release()
+	return []int{v}
+}

@@ -1,0 +1,16 @@
+// Package prng is the fixture stand-in for repro/internal/prng: same
+// name, same seed/draw surface, so the analyzers resolve fixture calls
+// exactly as they resolve the real ones.
+package prng
+
+type PRNG struct{ s uint64 }
+
+func New(seed uint64) *PRNG         { return &PRNG{s: seed} }
+func Derive(m uint64, r int) uint64 { return m + uint64(r) }
+
+func (p *PRNG) Reseed(seed uint64) { p.s = seed }
+func (p *PRNG) Bits(n int) uint64  { p.s++; return p.s }
+func (p *PRNG) Uint32() uint32     { return uint32(p.Bits(32)) }
+func (p *PRNG) Uint64() uint64     { return p.Bits(64) }
+func (p *PRNG) Intn(n int) int     { return int(p.Bits(8)) % n }
+func (p *PRNG) Float64() float64   { return float64(p.Bits(53)) }

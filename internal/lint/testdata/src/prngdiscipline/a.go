@@ -1,0 +1,68 @@
+// Package prngdiscipline is the fixture for the PRNG-discipline
+// analyzer.
+package prngdiscipline
+
+import "prng"
+
+func fixed() *prng.PRNG {
+	return prng.New(42) // want `prng.New with constant seed 42`
+}
+
+func fixedHex() *prng.PRNG {
+	return prng.New(0xE7E7) // want `prng.New with constant seed 59367`
+}
+
+func derived(master uint64, run int) *prng.PRNG {
+	return prng.New(prng.Derive(master, run)) // derived seed: allowed
+}
+
+func fromParam(seed uint64) *prng.PRNG {
+	return prng.New(seed ^ 0x524D5021) // domain separation of a variable seed: allowed
+}
+
+func justified() *prng.PRNG {
+	//rm:deterministic fixed-seed null-distribution simulation, reproducible by design
+	return prng.New(0xBEEF)
+}
+
+type Kernel struct {
+	valid uint64
+	rng   *prng.PRNG
+}
+
+//rm:hotpath
+func (k *Kernel) BadFill(ways int) int {
+	if k.valid != 0 {
+		return k.rng.Intn(ways) // want `PRNG draw conditioned on cache state in kernel BadFill`
+	}
+	return 0
+}
+
+//rm:hotpath
+func (k *Kernel) BadFillSwitch(ways int) int {
+	switch k.valid {
+	case 0:
+		return 0
+	default:
+		return k.rng.Intn(ways) // want `PRNG draw conditioned on cache state in kernel BadFillSwitch`
+	}
+}
+
+//rm:hotpath
+func (k *Kernel) GoodFill(ways int) int {
+	if k.valid != 0 {
+		return 1
+	}
+	// Unconditional tail draw: every miss path reaches it, draw order
+	// stays a pure function of the access sequence.
+	return k.rng.Intn(ways)
+}
+
+// ColdFill is not annotated (not kernel code): conditional draws are the
+// caller's business outside the bit-exactness contract.
+func ColdFill(k *Kernel, ways int) int {
+	if k.valid != 0 {
+		return k.rng.Intn(ways)
+	}
+	return 0
+}

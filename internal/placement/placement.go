@@ -166,9 +166,11 @@ type bulkIndexer interface {
 // campaign "index plan" primitive: each Reseed, one IndexAll per cache
 // level over the trace's unique lines replaces per-access hashing for the
 // whole run (see sim.Core.RunCompiled).
+//
+//rm:hotpath
 func IndexAll(p Policy, lines []uint64, out []uint32) {
 	if len(lines) != len(out) {
-		panic(fmt.Sprintf("placement: IndexAll length mismatch: %d lines, %d out", len(lines), len(out)))
+		indexAllMismatch(len(lines), len(out))
 	}
 	if b, ok := p.(bulkIndexer); ok {
 		b.indexAll(lines, out)
@@ -177,6 +179,16 @@ func IndexAll(p Policy, lines []uint64, out []uint32) {
 	for i, line := range lines {
 		out[i] = p.Index(line)
 	}
+}
+
+// indexAllMismatch is IndexAll's cold panic helper: formatting stays off
+// the annotated hot path so the escape-analysis gate sees no heap
+// traffic in its span. noinline keeps the compiler from folding the
+// Sprintf escape back into the caller's span.
+//
+//go:noinline
+func indexAllMismatch(lines, out int) {
+	panic(fmt.Sprintf("placement: IndexAll length mismatch: %d lines, %d out", lines, out))
 }
 
 // ---------------------------------------------------------------------------
@@ -207,6 +219,8 @@ func (p *moduloPolicy) NeedsIndexInTag() bool    { return false }
 // one hash body per policy stays the single source of truth, and the
 // bulk entry point only sheds the per-line interface dispatch (RM's
 // variant additionally hoists the control-word derivation).
+//
+//rm:hotpath
 func (p *moduloPolicy) indexAll(lines []uint64, out []uint32) {
 	for i, line := range lines {
 		out[i] = p.Index(line)
@@ -252,6 +266,7 @@ func (p *xorFoldPolicy) Reseed(uint64)         {}
 func (p *xorFoldPolicy) Randomized() bool      { return false }
 func (p *xorFoldPolicy) NeedsIndexInTag() bool { return true }
 
+//rm:hotpath
 func (p *xorFoldPolicy) indexAll(lines []uint64, out []uint32) {
 	for i, line := range lines {
 		out[i] = p.Index(line)
@@ -338,6 +353,7 @@ func (p *hrpPolicy) Index(line uint64) uint32 {
 func (p *hrpPolicy) Randomized() bool      { return true }
 func (p *hrpPolicy) NeedsIndexInTag() bool { return true }
 
+//rm:hotpath
 func (p *hrpPolicy) indexAll(lines []uint64, out []uint32) {
 	for i, line := range lines {
 		out[i] = p.Index(line)
@@ -420,6 +436,8 @@ func (p *rmPolicy) Reseed(seed uint64) {
 // bits above the index). A single-bit change in the segment flips at least
 // one control bit, as the paper requires ("small changes in address upper
 // bits lead to different index permutations").
+//
+//rm:hotpath
 func (p *rmPolicy) control(segment uint64) uint64 {
 	if p.ctrlBits == 0 {
 		// A 2-set cache has a single index bit and nothing to permute:
@@ -459,6 +477,8 @@ func (p *rmPolicy) NeedsIndexInTag() bool { return false }
 // per-line permutation is the same PermuteBits walk as Index, so results
 // are bit-identical (control is a pure function of the segment; the
 // direct-mapped Index memo is left untouched).
+//
+//rm:hotpath
 func (p *rmPolicy) indexAll(lines []uint64, out []uint32) {
 	var (
 		lastSeg  uint64
@@ -535,6 +555,7 @@ func (p *rmRotPolicy) Index(line uint64) uint32 {
 func (p *rmRotPolicy) Randomized() bool      { return true }
 func (p *rmRotPolicy) NeedsIndexInTag() bool { return false }
 
+//rm:hotpath
 func (p *rmRotPolicy) indexAll(lines []uint64, out []uint32) {
 	for i, line := range lines {
 		out[i] = p.Index(line)

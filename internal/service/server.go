@@ -102,6 +102,7 @@ func New(cfg Config) *Server {
 		slots:   make(chan struct{}, cfg.QueueDepth),
 		started: time.Now(),
 	}
+	//rm:ctxroot server lifecycle root: jobs outlive the submitting request; Close cancels it on drain
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	// Lock order: store shard -> jobsMu (canEvict/onEvict run under the
 	// shard lock); nothing acquires them the other way around.

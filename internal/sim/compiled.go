@@ -89,9 +89,11 @@ func (c *Core) preparePlans(ct *trace.Compiled) {
 //
 // RunCompiled panics if the compiled line size does not match every
 // level (see SupportsCompiled).
+//
+//rm:hotpath
 func (c *Core) RunCompiled(ct *trace.Compiled) Result {
 	if !c.SupportsCompiled(ct.LineBytes) {
-		panic(fmt.Sprintf("sim: RunCompiled: compiled line size %dB does not match all cache levels", ct.LineBytes))
+		badLineSize(ct.LineBytes)
 	}
 	c.preparePlans(ct)
 
@@ -150,4 +152,15 @@ func (c *Core) RunCompiled(ct *trace.Compiled) Result {
 		DL1:      kd.End(),
 		L2:       k2.End(),
 	}
+}
+
+// badLineSize is RunCompiled's cold panic helper: formatting stays off
+// the annotated hot path so the escape-analysis gate
+// (scripts/check-noalloc.sh) sees no heap traffic in its span. noinline
+// keeps the compiler from folding the Sprintf escape back into the
+// caller's span.
+//
+//go:noinline
+func badLineSize(lineBytes int) {
+	panic(fmt.Sprintf("sim: RunCompiled: compiled line size %dB does not match all cache levels", lineBytes))
 }

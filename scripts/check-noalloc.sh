@@ -1,0 +1,53 @@
+#!/bin/sh
+# check-noalloc.sh -- the escape-analysis half of the zero-alloc contract.
+#
+# rmlint's hotpath analyzer rejects the allocation *syntax* it can see in
+# the AST (append without scratch, literals, boxing, fmt); this script
+# closes the gap with the compiler's own escape analysis: no statement
+# inside a //rm:hotpath function span may escape to the heap.
+#
+# Mechanics: `rmlint -hotpath` prints every annotated span as
+# file:start:end:name, `go build -gcflags='./...=-m'` prints one line per
+# escaping expression (replayed from the build cache on a warm build, so
+# the output is complete even when nothing recompiles), and awk intersects
+# the two by (file, line). Exit 1 with the offending lines on overlap.
+#
+# Usage: scripts/check-noalloc.sh   (from the module root; CI and
+#        `make check-noalloc` run it this way)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+spans=$(mktemp)
+escapes=$(mktemp)
+trap 'rm -f "$spans" "$escapes"' EXIT
+
+go run ./cmd/rmlint -hotpath ./... >"$spans"
+if ! [ -s "$spans" ]; then
+    echo "check-noalloc: no //rm:hotpath spans found (annotations missing?)" >&2
+    exit 1
+fi
+
+# Escape analysis for every package; -e keeps the build going past any
+# error so the diagnostic stream is complete.
+go build -gcflags='./...=-m -e' ./... 2>&1 |
+    grep -E 'escapes to heap|moved to heap' >"$escapes" || true
+
+violations=$(awk -F: '
+    NR == FNR { file[NR] = $1; start[NR] = $2; end[NR] = $3; name[NR] = $4; n = NR; next }
+    {
+        for (i = 1; i <= n; i++) {
+            if ($1 == file[i] && $2 + 0 >= start[i] && $2 + 0 <= end[i]) {
+                print $0 " [in //rm:hotpath func " name[i] "]"
+                break
+            }
+        }
+    }
+' "$spans" "$escapes")
+
+if [ -n "$violations" ]; then
+    echo "check-noalloc: heap traffic inside //rm:hotpath functions:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+echo "check-noalloc: $(wc -l <"$spans" | tr -d ' ') hotpath spans clean"
