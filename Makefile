@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race vet fmt lint rmlint check-noalloc vuln fuzz-short verify smoke smoke-serve serve bench bench-hotpath bench-json bench-compare full-bench
+.PHONY: build test test-short race vet fmt lint rmlint check-noalloc vuln fuzz-short verify smoke smoke-security smoke-serve serve bench bench-hotpath bench-json bench-compare full-bench
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,13 @@ verify: lint build check-noalloc vuln race
 # Exercise the binaries end-to-end at smoke scale (what CI runs).
 smoke:
 	$(GO) run ./cmd/paperbench -exp table2 -short -timeout 10m
+
+# Security-evaluation smoke: all three attacker protocols swept over every
+# placement x replacement design point at smoke scale.
+smoke-security:
+	$(GO) run ./cmd/paperbench -exp security-evict -short -timeout 10m
+	$(GO) run ./cmd/paperbench -exp security-occupancy -short -timeout 10m
+	$(GO) run ./cmd/paperbench -exp security-primeprobe -short -timeout 10m
 
 # Campaign service smoke: submit, poll to completion, verify the cached
 # resubmission (same fingerprint, no re-run). What CI's service step runs.

@@ -18,8 +18,12 @@
 //
 //	benchcompare OLD.json NEW.json
 //
-// Exit status: 0 when bit-identical, 1 on any result difference, 2 on
-// usage or read errors.
+// Campaign groups present only in the new snapshot are tolerated with a
+// skip note (new experiments land before the committed snapshot catches
+// up); groups missing from the new snapshot still fail.
+//
+// Exit status: 0 when bit-identical (skip notes allowed), 1 on any result
+// difference, 2 on usage or read errors.
 package main
 
 import (
@@ -89,9 +93,14 @@ func groups(rep report) map[string][]string {
 	return out
 }
 
-// compare returns the human-readable differences between two snapshots.
-func compare(oldRep, newRep report) []string {
-	var diffs []string
+// compare returns the human-readable differences between two snapshots,
+// plus the skip notes for groups that exist only in the new snapshot.
+// New-only groups are tolerated (a new PR may add experiments the older
+// committed snapshot predates -- the security sweeps did exactly that);
+// they are reported so additions stay visible, but they do not fail the
+// gate. A group missing from the NEW snapshot still fails: committed
+// results must never silently disappear.
+func compare(oldRep, newRep report) (diffs, skips []string) {
 	og, ng := groups(oldRep), groups(newRep)
 	if oldRep.Scale != newRep.Scale {
 		diffs = append(diffs, fmt.Sprintf("scale: %q vs %q (snapshots must use the same -short/-full scale)", oldRep.Scale, newRep.Scale))
@@ -110,7 +119,7 @@ func compare(oldRep, newRep report) []string {
 		o, n := og[k], ng[k]
 		switch {
 		case len(o) == 0:
-			diffs = append(diffs, fmt.Sprintf("%s: only in new snapshot", k))
+			skips = append(skips, fmt.Sprintf("%s: only in new snapshot (%d campaigns; skipped, no old baseline)", k, len(n)))
 		case len(n) == 0:
 			diffs = append(diffs, fmt.Sprintf("%s: missing from new snapshot", k))
 		case len(o) != len(n):
@@ -123,7 +132,7 @@ func compare(oldRep, newRep report) []string {
 			}
 		}
 	}
-	return diffs
+	return diffs, skips
 }
 
 func main() {
@@ -141,7 +150,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcompare:", err)
 		os.Exit(2)
 	}
-	diffs := compare(oldRep, newRep)
+	diffs, skips := compare(oldRep, newRep)
+	for _, s := range skips {
+		fmt.Fprintln(os.Stderr, "benchcompare: note:", s)
+	}
 	if len(diffs) > 0 {
 		fmt.Fprintf(os.Stderr, "benchcompare: %s and %s differ in %d place(s):\n", os.Args[1], os.Args[2], len(diffs))
 		for _, d := range diffs {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -21,8 +22,9 @@ func baseReport() report {
 }
 
 func TestCompareIdentical(t *testing.T) {
-	if diffs := compare(baseReport(), baseReport()); len(diffs) != 0 {
-		t.Fatalf("identical reports flagged: %v", diffs)
+	diffs, skips := compare(baseReport(), baseReport())
+	if len(diffs) != 0 || len(skips) != 0 {
+		t.Fatalf("identical reports flagged: %v / %v", diffs, skips)
 	}
 }
 
@@ -30,7 +32,7 @@ func TestCompareIgnoresOrderWithinDuplicateNames(t *testing.T) {
 	newRep := baseReport()
 	// Completion order flips for the two fig5/synth8k campaigns.
 	newRep.Campaigns[1], newRep.Campaigns[2] = newRep.Campaigns[2], newRep.Campaigns[1]
-	if diffs := compare(baseReport(), newRep); len(diffs) != 0 {
+	if diffs, _ := compare(baseReport(), newRep); len(diffs) != 0 {
 		t.Fatalf("reordered duplicate-name campaigns flagged: %v", diffs)
 	}
 }
@@ -43,17 +45,31 @@ func TestCompareFlagsResultDrift(t *testing.T) {
 		"pwcet-dropped": func(r *report) { r.Campaigns[0].PWCET15 = nil },
 		"runs":          func(r *report) { r.Campaigns[0].Runs = 81 },
 		"missing":       func(r *report) { r.Campaigns = r.Campaigns[1:] },
-		"extra": func(r *report) {
-			r.Campaigns = append(r.Campaigns, row{Experiment: "x", Name: "y"})
-		},
-		"error-text": func(r *report) { r.Campaigns[0].Error = "boom" },
-		"scale":      func(r *report) { r.Scale = "full" },
+		"error-text":    func(r *report) { r.Campaigns[0].Error = "boom" },
+		"scale":         func(r *report) { r.Scale = "full" },
 	} {
 		newRep := baseReport()
 		mutate(&newRep)
-		if diffs := compare(baseReport(), newRep); len(diffs) == 0 {
+		if diffs, _ := compare(baseReport(), newRep); len(diffs) == 0 {
 			t.Errorf("%s drift not flagged", name)
 		}
+	}
+}
+
+// TestCompareToleratesNewOnlyGroups pins the forward-compatibility rule:
+// a campaign group absent from the old snapshot (a newly added experiment,
+// e.g. the security sweeps) is a skip note, not a failure -- but a group
+// missing from the NEW snapshot still fails.
+func TestCompareToleratesNewOnlyGroups(t *testing.T) {
+	newRep := baseReport()
+	newRep.Campaigns = append(newRep.Campaigns,
+		row{Experiment: "security-evict", Name: "security/eviction/RM/Random", Runs: 24})
+	diffs, skips := compare(baseReport(), newRep)
+	if len(diffs) != 0 {
+		t.Fatalf("new-only group failed the gate: %v", diffs)
+	}
+	if len(skips) != 1 || !strings.Contains(skips[0], "security-evict/security/eviction/RM/Random") {
+		t.Fatalf("skips = %v, want one note naming the new group", skips)
 	}
 }
 
@@ -86,7 +102,7 @@ func TestLoadIgnoresEnvironmentFields(t *testing.T) {
 	other.Campaigns = append([]row(nil), rep.Campaigns...)
 	// A wall-time change has nowhere to live in the decoded form, so the
 	// comparison cannot see it.
-	if diffs := compare(rep, other); len(diffs) != 0 {
+	if diffs, _ := compare(rep, other); len(diffs) != 0 {
 		t.Fatalf("environment fields leaked into the comparison: %v", diffs)
 	}
 }

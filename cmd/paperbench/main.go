@@ -50,6 +50,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/security"
 )
 
 // experimentNames lists the valid -exp values in execution order; an
@@ -57,6 +58,7 @@ import (
 var experimentNames = []string{
 	"table1", "table2", "fig1", "fig4a", "fig4b", "fig5",
 	"avgperf", "collision", "ablations", "multicore", "convergence",
+	"security-evict", "security-occupancy", "security-primeprobe",
 }
 
 // validateExp checks an -exp value against the registry.
@@ -295,6 +297,28 @@ func main() {
 		}
 		return r.Render(), nil
 	})
+	for _, sec := range []struct {
+		name  string
+		proto security.Protocol
+	}{
+		{"security-evict", security.EvictionSet},
+		{"security-occupancy", security.Occupancy},
+		{"security-primeprobe", security.PrimeProbe},
+	} {
+		sec := sec
+		run(sec.name, func() (string, error) {
+			r, err := experiments.SecuritySweep(ctx, eng, scale, sec.proto)
+			if err != nil {
+				return "", err
+			}
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, sec.name+".csv", securityCSV(r)); err != nil {
+					return "", err
+				}
+			}
+			return r.Render(), nil
+		})
+	}
 
 	if recorder != nil {
 		label := "default"
@@ -406,6 +430,18 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 func stderrIsTerminal() bool {
 	st, err := os.Stderr.Stat()
 	return err == nil && st.Mode()&os.ModeCharDevice != 0
+}
+
+func securityCSV(r experiments.SecurityResult) [][]string {
+	rows := [][]string{{"placement", "replacement", "effort", "success", "accesses"}}
+	for _, row := range r.Rows {
+		for _, p := range row.Agg.Curve {
+			rows = append(rows, []string{row.Placement, row.Replacement,
+				fmt.Sprint(p.Effort), fmt.Sprintf("%.4f", p.Success),
+				fmt.Sprintf("%.1f", p.Accesses)})
+		}
+	}
+	return rows
 }
 
 func table2CSV(r experiments.Table2Result) [][]string {

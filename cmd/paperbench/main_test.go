@@ -32,6 +32,17 @@ func TestValidateExp(t *testing.T) {
 			t.Errorf("error %q does not mention %q", err, want)
 		}
 	}
+	// The security sweeps joined the registry: a misspelled security name
+	// must still be a usage error whose listing includes the new entries.
+	err = validateExp("security")
+	if err == nil {
+		t.Fatal("partial security name accepted")
+	}
+	for _, want := range []string{"security-evict", "security-occupancy", "security-primeprobe"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not list %q", err, want)
+		}
+	}
 }
 
 // TestStartProfiles exercises the -cpuprofile/-memprofile plumbing: both

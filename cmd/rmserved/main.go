@@ -11,11 +11,19 @@
 // Endpoints:
 //
 //	POST /v1/campaigns            submit a campaign (JSON), returns id + fingerprint
-//	GET  /v1/campaigns/{id}        status / result (incl. pWCET analysis)
+//	GET  /v1/campaigns/{id}        status / result (incl. pWCET analysis,
+//	                               or the attack aggregate for security campaigns)
 //	GET  /v1/campaigns/{id}/events NDJSON stream of live campaign events
 //	GET  /v1/policies              placement policy catalog
 //	GET  /v1/workloads             workload catalog
+//	GET  /v1/kinds                 campaign kinds + security protocol vocabulary
 //	GET  /healthz                  liveness + queue and cache statistics
+//
+// Timing campaigns (the default) measure MBPTA or baseline execution
+// times; security campaigns (submissions with a "security" block) run
+// attacker protocols -- eviction-set construction, the cache-occupancy
+// channel, Prime+Probe -- against the selected placement and report
+// success-vs-effort curves instead.
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops, in-flight
 // campaigns are cancelled via context, and the process exits once the

@@ -1,9 +1,15 @@
 package main
 
 import (
+	"encoding/json"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/service"
 )
 
 // TestValidateFlags pins the usage contract of rmserved's numeric knobs:
@@ -60,5 +66,100 @@ func TestListenHost(t *testing.T) {
 	got := listenHost(wild)
 	if !strings.HasPrefix(got, "127.0.0.1:") {
 		t.Fatalf("wildcard listenHost = %q, want a connectable 127.0.0.1:port", got)
+	}
+}
+
+// TestServedEndpoints drives the daemon's handler the way a deployment
+// smoke does: discovery via /v1/kinds, a security campaign through the
+// submit/status flow, and a malformed security block rejected with 400.
+func TestServedEndpoints(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/kinds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds struct {
+		Kinds     []string `json:"kinds"`
+		Protocols []string `json:"security_protocols"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&kinds); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(kinds.Kinds) != 3 || len(kinds.Protocols) != 3 {
+		t.Fatalf("/v1/kinds = %+v", kinds)
+	}
+
+	submit := func(body string) (*http.Response, error) {
+		return http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+	}
+	resp, err = submit(`{"placement":"Modulo","runs":6,"seed":2,` +
+		`"security":{"protocol":"eviction","replacement":"LRU","probe_lines":64,"probe_stride":4096}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("security submit -> %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err = http.Get(ts.URL + "/v1/campaigns/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State  string `json:"state"`
+			Error  string `json:"error"`
+			Result *struct {
+				Security *struct {
+					Curve []struct {
+						Success float64 `json:"success"`
+					} `json:"curve"`
+				} `json:"security"`
+			} `json:"result"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.State == "done" {
+			if st.Result == nil || st.Result.Security == nil || len(st.Result.Security.Curve) == 0 {
+				t.Fatalf("done without a security aggregate: %+v", st.Result)
+			}
+			// Modulo+LRU with way-size stride is the deterministic KAT
+			// point: construction always succeeds.
+			last := st.Result.Security.Curve[len(st.Result.Security.Curve)-1]
+			if last.Success != 1 {
+				t.Fatalf("KAT success = %v, want 1", last.Success)
+			}
+			break
+		}
+		if st.State == "failed" || st.State == "canceled" {
+			t.Fatalf("campaign %s: %s", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("campaign did not finish in time")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err = submit(`{"placement":"Modulo","runs":6,"security":{"protocol":"nope"}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad protocol -> %d, want 400", resp.StatusCode)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/bits"
+	"strings"
 
 	"repro/internal/placement"
 	"repro/internal/prng"
@@ -44,6 +45,24 @@ func (r ReplacementKind) String() string {
 	default:
 		return fmt.Sprintf("ReplacementKind(%d)", int(r))
 	}
+}
+
+// ReplacementKinds returns every replacement policy in declaration order,
+// for service catalogs and usage messages.
+func ReplacementKinds() []ReplacementKind {
+	return []ReplacementKind{LRU, Random, FIFO, PLRU}
+}
+
+// ParseReplacement maps a user-facing replacement-policy name
+// (case-insensitive) to its kind, mirroring placement.ParseKind for the
+// CLIs and the campaign wire codec.
+func ParseReplacement(s string) (ReplacementKind, error) {
+	for _, k := range ReplacementKinds() {
+		if strings.EqualFold(s, k.String()) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("cache: unknown replacement policy %q (valid: LRU, Random, FIFO, PLRU)", s)
 }
 
 // WritePolicy selects how stores interact with the cache level.
@@ -284,6 +303,17 @@ func (c *Cache) Lookup(addr uint64) bool {
 	la := c.LineAddr(addr)
 	set := int(c.pol.Index(la))
 	return c.probe(la, set) >= 0
+}
+
+// LookupLine is Lookup for a line address with a precomputed set index
+// (see ReadLine for the plan contract): presence without updating
+// replacement state or counters. The security attack kernels use it to
+// test eviction without perturbing the replacement state under
+// measurement.
+//
+//rm:hotpath
+func (c *Cache) LookupLine(la uint64, set uint32) bool {
+	return c.probe(la, int(set)) >= 0
 }
 
 // probe returns the way holding la in set, or -1. It scans only the valid

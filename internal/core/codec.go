@@ -8,7 +8,9 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/placement"
+	"repro/internal/security"
 	"repro/internal/workload"
 )
 
@@ -43,6 +45,60 @@ type WireRequest struct {
 	Analyze bool `json:"analyze,omitempty"`
 	// Layout optionally overrides the base memory layout.
 	Layout *WireLayout `json:"layout,omitempty"`
+	// Security selects the attacker-campaign family instead of a timing
+	// campaign: Runs counts attack rounds, Placement is the attacked
+	// cache's placement, and Workload becomes optional (it names the
+	// occupancy protocol's victim; empty selects the synthetic victim).
+	// Baseline and Analyze do not combine with it.
+	Security *WireSecurity `json:"security,omitempty"`
+}
+
+// WireSecurity is the JSON form of a security.Spec (minus the placement,
+// which rides in the top-level field). Sizing knobs left zero resolve to
+// protocol defaults during Normalize, so equivalent submissions share a
+// fingerprint.
+type WireSecurity struct {
+	// Protocol is "eviction", "occupancy" or "primeprobe" (aliases
+	// accepted, e.g. "prime+probe", "pp").
+	Protocol string `json:"protocol"`
+	// Replacement is the attacked cache's replacement policy (LRU,
+	// Random, FIFO, PLRU; case-insensitive). Empty selects Random, the
+	// MBPTA platform convention.
+	Replacement string `json:"replacement,omitempty"`
+	// ProbeLines sizes the attacker probe set in cache lines.
+	ProbeLines int `json:"probe_lines,omitempty"`
+	// ProbeStride is the byte stride between probe candidates (0 = draw
+	// pseudo-random candidates per round).
+	ProbeStride int `json:"probe_stride,omitempty"`
+	// Trials is the Prime+Probe trial count per round.
+	Trials int `json:"trials,omitempty"`
+	// VictimLines sizes the synthetic occupancy victim.
+	VictimLines int `json:"victim_lines,omitempty"`
+}
+
+// spec resolves the wire form into a security.Spec for the given attacked
+// placement.
+func (s WireSecurity) spec(kind placement.Kind) (security.Spec, error) {
+	proto, err := security.ParseProtocol(s.Protocol)
+	if err != nil {
+		return security.Spec{}, err
+	}
+	repl := cache.Random
+	if s.Replacement != "" {
+		repl, err = cache.ParseReplacement(s.Replacement)
+		if err != nil {
+			return security.Spec{}, err
+		}
+	}
+	return security.Spec{
+		Protocol:    proto,
+		Placement:   kind,
+		Replacement: repl,
+		ProbeLines:  s.ProbeLines,
+		ProbeStride: s.ProbeStride,
+		Trials:      s.Trials,
+		VictimLines: s.VictimLines,
+	}, nil
 }
 
 // WireLayout is the JSON form of a workload.Layout.
@@ -93,8 +149,41 @@ func (w WireRequest) Normalize() (WireRequest, error) {
 	if err != nil {
 		return WireRequest{}, fmt.Errorf("core: %w", err)
 	}
-	if _, err := workload.ByName(w.Workload); err != nil {
-		return WireRequest{}, fmt.Errorf("core: %w", err)
+	if w.Security != nil {
+		if w.Baseline {
+			return WireRequest{}, errors.New("core: security campaigns cannot use the baseline protocol")
+		}
+		if w.Analyze {
+			return WireRequest{}, errors.New("core: the MBPTA analysis does not apply to security campaigns")
+		}
+		spec, err := w.Security.spec(kind)
+		if err != nil {
+			return WireRequest{}, fmt.Errorf("core: %w", err)
+		}
+		norm, err := spec.Normalized()
+		if err != nil {
+			return WireRequest{}, fmt.Errorf("core: %w", err)
+		}
+		if w.Workload != "" {
+			if norm.Protocol != security.Occupancy {
+				return WireRequest{}, fmt.Errorf("core: a victim workload only applies to the %s protocol", security.Occupancy)
+			}
+			if _, err := workload.ByName(w.Workload); err != nil {
+				return WireRequest{}, fmt.Errorf("core: %w", err)
+			}
+		}
+		w.Security = &WireSecurity{
+			Protocol:    norm.Protocol.String(),
+			Replacement: norm.Replacement.String(),
+			ProbeLines:  norm.ProbeLines,
+			ProbeStride: norm.ProbeStride,
+			Trials:      norm.Trials,
+			VictimLines: norm.VictimLines,
+		}
+	} else {
+		if _, err := workload.ByName(w.Workload); err != nil {
+			return WireRequest{}, fmt.Errorf("core: %w", err)
+		}
 	}
 	if w.Runs < 1 {
 		return WireRequest{}, errors.New("core: request needs at least one run")
@@ -111,15 +200,25 @@ func (w WireRequest) Request() (Request, error) {
 		return Request{}, err
 	}
 	kind, _ := placement.ParseKind(n.Placement)
-	wl, _ := workload.ByName(n.Workload)
 	req := Request{
 		Name:       n.Name,
-		Spec:       PlatformFor(kind),
-		Workload:   wl,
 		Runs:       n.Runs,
 		MasterSeed: n.Seed,
 		Baseline:   n.Baseline,
 		Analyze:    n.Analyze,
+	}
+	if n.Workload != "" {
+		req.Workload, _ = workload.ByName(n.Workload)
+	}
+	if n.Security != nil {
+		// Normalize already validated and canonicalized the spec.
+		spec, err := n.Security.spec(kind)
+		if err != nil {
+			return Request{}, fmt.Errorf("core: %w", err)
+		}
+		req.Security = &spec
+	} else {
+		req.Spec = PlatformFor(kind)
 	}
 	if n.Layout != nil {
 		l := n.Layout.Layout()
@@ -134,6 +233,13 @@ func (w WireRequest) Label() string {
 	if w.Name != "" {
 		return w.Name
 	}
+	if w.Security != nil {
+		repl := w.Security.Replacement
+		if repl == "" {
+			repl = cache.Random.String()
+		}
+		return fmt.Sprintf("security/%s/%s/%s", w.Security.Protocol, w.Placement, repl)
+	}
 	n := w.Workload
 	if w.Baseline {
 		n += "/hwm"
@@ -142,8 +248,9 @@ func (w WireRequest) Label() string {
 }
 
 // fingerprintVersion tags the hash layout; bump it if the canonical
-// serialization below ever changes meaning.
-const fingerprintVersion = "rmfp1"
+// serialization below ever changes meaning. rmfp2 added the security
+// campaign family (the security block below).
+const fingerprintVersion = "rmfp2"
 
 // Fingerprint returns the content address of the campaign: a 128-bit hex
 // digest over the normalized request fields that determine the result
@@ -165,6 +272,11 @@ func (w WireRequest) Fingerprint() (string, error) {
 		for _, s := range n.Layout.Scatter {
 			fmt.Fprintf(&b, ",%d", s)
 		}
+	}
+	if n.Security != nil {
+		fmt.Fprintf(&b, "|security=%s,%s,%d,%d,%d,%d",
+			n.Security.Protocol, n.Security.Replacement, n.Security.ProbeLines,
+			n.Security.ProbeStride, n.Security.Trials, n.Security.VictimLines)
 	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return fmt.Sprintf("%x", sum[:16]), nil

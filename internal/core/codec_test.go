@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/placement"
+	"repro/internal/security"
 	"repro/internal/workload"
 )
 
@@ -104,6 +105,110 @@ func TestFingerprintCanonicalization(t *testing.T) {
 			t.Errorf("fingerprint collision between %+v and %s", w, prev)
 		}
 		seen[got] = w.Placement + "/" + w.Workload
+	}
+}
+
+func TestWireSecurityRoundTrip(t *testing.T) {
+	in := strings.NewReader(`{"placement":"rm","runs":40,"seed":9,` +
+		`"security":{"protocol":"prime+probe","replacement":"lru","probe_lines":256,"trials":8}}`)
+	w, err := DecodeWireRequest(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := w.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical form: resolved spellings and defaults written back.
+	if n.Security.Protocol != "primeprobe" || n.Security.Replacement != "LRU" {
+		t.Fatalf("canonical security block %+v", n.Security)
+	}
+	req, err := w.Request()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Security == nil || req.Security.Protocol != security.PrimeProbe ||
+		req.Security.ProbeLines != 256 || req.Security.Trials != 8 {
+		t.Fatalf("resolved security request %+v", req.Security)
+	}
+	if req.Kind() != KindSecurity {
+		t.Fatalf("kind = %v", req.Kind())
+	}
+	if got := w.Label(); got != "security/prime+probe/rm/lru" {
+		t.Fatalf("Label() = %q", got)
+	}
+}
+
+func TestWireSecurityValidation(t *testing.T) {
+	sec := func(s WireSecurity) WireRequest {
+		return WireRequest{Placement: "RM", Runs: 10, Security: &s}
+	}
+	bad := []WireRequest{
+		sec(WireSecurity{Protocol: "flushreload"}),
+		sec(WireSecurity{Protocol: "eviction", Replacement: "clock"}),
+		sec(WireSecurity{Protocol: "eviction", ProbeLines: 2}),
+		sec(WireSecurity{Protocol: "eviction", ProbeStride: 33}),
+		sec(WireSecurity{Protocol: "eviction", Trials: 8}),
+		sec(WireSecurity{Protocol: "occupancy", VictimLines: -1}),
+		{Placement: "RM", Runs: 10, Baseline: true, Security: &WireSecurity{Protocol: "eviction"}},
+		{Placement: "RM", Runs: 10, Analyze: true, Security: &WireSecurity{Protocol: "eviction"}},
+		// A victim workload is only meaningful for the occupancy channel.
+		{Placement: "RM", Workload: "tblook01", Runs: 10, Security: &WireSecurity{Protocol: "eviction"}},
+		{Placement: "RM", Workload: "nope", Runs: 10, Security: &WireSecurity{Protocol: "occupancy"}},
+	}
+	for _, w := range bad {
+		if _, err := w.Normalize(); err == nil {
+			t.Errorf("Normalize accepted %+v (security %+v)", w, w.Security)
+		}
+	}
+	ok := WireRequest{Placement: "RM", Workload: "tblook01", Runs: 10,
+		Security: &WireSecurity{Protocol: "occupancy"}}
+	if _, err := ok.Normalize(); err != nil {
+		t.Fatalf("occupancy victim workload rejected: %v", err)
+	}
+}
+
+// TestWireSecurityFingerprint: spelling-insensitivity and default
+// resolution keep equivalent security submissions on one fingerprint,
+// while every content knob separates them.
+func TestWireSecurityFingerprint(t *testing.T) {
+	base := WireRequest{Placement: "RM", Runs: 50, Seed: 3,
+		Security: &WireSecurity{Protocol: "eviction", Replacement: "Random", ProbeLines: 1024}}
+	fp, err := base.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := WireRequest{Placement: "rm", Runs: 50, Seed: 3,
+		Security: &WireSecurity{Protocol: "EVICTION-SET", ProbeLines: 1024}}
+	if got, err := same.Fingerprint(); err != nil || got != fp {
+		t.Fatalf("equivalent security spellings diverge: %q vs %q (%v)", got, fp, err)
+	}
+	// The default probe pool for eviction is 8*sets = 1024: leaving it
+	// implicit is the same campaign.
+	implicit := WireRequest{Placement: "RM", Runs: 50, Seed: 3,
+		Security: &WireSecurity{Protocol: "eviction"}}
+	if got, err := implicit.Fingerprint(); err != nil || got != fp {
+		t.Fatalf("default-resolved security fingerprint diverges: %q vs %q (%v)", got, fp, err)
+	}
+	diff := []WireRequest{
+		{Placement: "RM", Runs: 50, Seed: 3, Security: &WireSecurity{Protocol: "primeprobe", ProbeLines: 1024}},
+		{Placement: "RM", Runs: 50, Seed: 3, Security: &WireSecurity{Protocol: "eviction", Replacement: "LRU", ProbeLines: 1024}},
+		{Placement: "RM", Runs: 50, Seed: 3, Security: &WireSecurity{Protocol: "eviction", ProbeLines: 512}},
+		{Placement: "RM", Runs: 50, Seed: 3, Security: &WireSecurity{Protocol: "eviction", ProbeLines: 1024, ProbeStride: 4096}},
+		{Placement: "Modulo", Runs: 50, Seed: 3, Security: &WireSecurity{Protocol: "eviction", ProbeLines: 1024}},
+		{Placement: "RM", Runs: 50, Seed: 3}, // no security block at all
+	}
+	diff[len(diff)-1].Workload = "tblook01"
+	seen := map[string]bool{fp: true}
+	for i, w := range diff {
+		got, err := w.Fingerprint()
+		if err != nil {
+			t.Fatalf("diff %d: %v", i, err)
+		}
+		if seen[got] {
+			t.Errorf("diff %d (%+v) collides", i, w.Security)
+		}
+		seen[got] = true
 	}
 }
 

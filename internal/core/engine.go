@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/prng"
+	"repro/internal/security"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -37,12 +38,64 @@ type Request struct {
 	// Analyze additionally applies the MBPTA statistical pipeline to the
 	// collected times and stores it in Result.Analysis.
 	Analyze bool
+	// Security selects the attacker-campaign family instead of a timing
+	// campaign: Runs counts attack rounds on the standalone attacked cache
+	// described by the spec, and Result.Security carries the
+	// success-vs-effort curves. Spec is ignored; Workload optionally names
+	// the occupancy protocol's victim (empty selects the synthetic
+	// victim); Baseline and Analyze do not apply and are rejected.
+	Security *security.Spec
+}
+
+// Kind discriminates the campaign families a Request can select.
+type Kind int
+
+// Campaign kinds.
+const (
+	KindMBPTA Kind = iota
+	KindBaseline
+	KindSecurity
+)
+
+// String names the kind for catalogs and logs.
+func (k Kind) String() string {
+	switch k {
+	case KindMBPTA:
+		return "mbpta"
+	case KindBaseline:
+		return "baseline"
+	case KindSecurity:
+		return "security"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// KindNames returns the campaign-kind names in declaration order, for
+// service discovery.
+func KindNames() []string {
+	return []string{KindMBPTA.String(), KindBaseline.String(), KindSecurity.String()}
+}
+
+// Kind reports which campaign family the request selects.
+func (r Request) Kind() Kind {
+	switch {
+	case r.Security != nil:
+		return KindSecurity
+	case r.Baseline:
+		return KindBaseline
+	default:
+		return KindMBPTA
+	}
 }
 
 // name resolves the event label of the request.
 func (r Request) name() string {
 	if r.Name != "" {
 		return r.Name
+	}
+	if r.Security != nil {
+		return fmt.Sprintf("security/%s/%s/%s",
+			r.Security.Protocol, r.Security.Placement, r.Security.Replacement)
 	}
 	n := r.Workload.Name
 	if r.Baseline {
@@ -64,6 +117,11 @@ type Result struct {
 	// Analysis is set when Request.Analyze was true and the campaign
 	// completed.
 	Analysis *Analysis
+	// Security is set for security campaigns (Request.Security non-nil):
+	// the aggregated success-vs-effort curves and channel statistics. For
+	// those campaigns Times holds per-round attacker access counts and the
+	// per-level counters stay zero (the attacked cache is standalone).
+	Security *security.Result
 }
 
 // EventKind discriminates Engine progress events.
@@ -171,6 +229,9 @@ func (r *Runner) run(ctx context.Context, index int, req Request) (Result, error
 	}
 	if req.Runs < 1 {
 		return finish(errors.New("core: campaign needs at least one run"))
+	}
+	if req.Security != nil {
+		return r.runSecurity(ctx, index, req, &res, &done, finish)
 	}
 	if req.Workload.Build == nil {
 		return finish(errors.New("core: campaign needs a workload"))

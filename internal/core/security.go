@@ -1,0 +1,100 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/prng"
+	"repro/internal/security"
+	"repro/internal/workload"
+)
+
+// securitySeedTag domain-separates the attack-round seed stream from the
+// MBPTA run streams (Derive(MasterSeed, run)) and the baseline layout
+// streams (Derive(MasterSeed^hwmSeedTag, run)), so a security campaign
+// sharing a master seed with a timing campaign still draws independent
+// randomness.
+const securitySeedTag = 0x5EC
+
+// runSecurity executes a security Request: Runs attack rounds sharded
+// over the pool as dynamically claimed chunks, each round a pure function
+// of Derive(MasterSeed^securitySeedTag, round), with per-round attacker
+// access counts as the measurement vector. Event semantics match the
+// timing campaigns (one RunCompleted per round, Cycles = accesses).
+func (r *Runner) runSecurity(ctx context.Context, index int, req Request, res *Result, done *atomic.Int64, finish func(error) (Result, error)) (Result, error) {
+	if req.Baseline {
+		return finish(errors.New("core: security campaigns cannot use the baseline protocol"))
+	}
+	if req.Analyze {
+		return finish(errors.New("core: the MBPTA analysis does not apply to security campaigns"))
+	}
+	spec, err := req.Security.Normalized()
+	if err != nil {
+		return finish(fmt.Errorf("core: %w", err))
+	}
+	if req.Workload.Build != nil && spec.Protocol != security.Occupancy {
+		return finish(fmt.Errorf("core: a victim workload only applies to the %s protocol", security.Occupancy))
+	}
+
+	// The occupancy victim's trace builds once per campaign, under a pool
+	// slot like the MBPTA trace build; all workers share the read-only
+	// compiled form.
+	var vic *security.Victim
+	if spec.Protocol == security.Occupancy && req.Workload.Build != nil {
+		if err := r.pool().acquire(ctx); err != nil {
+			return finish(fmt.Errorf("core: campaign %s aborted before any rounds: %w", res.Name, err))
+		}
+		layout := workload.DefaultLayout()
+		if req.Layout != nil {
+			layout = *req.Layout
+		}
+		vic, err = security.VictimFromTrace(req.Workload.Build(layout))
+		r.pool().release()
+		if err != nil {
+			return finish(fmt.Errorf("core: compiling victim workload %s: %w", req.Workload.Name, err))
+		}
+	}
+
+	onRound := func(round int, accesses float64) {
+		if r.Events == nil {
+			done.Add(1)
+			return
+		}
+		r.evmu.Lock()
+		n := int(done.Add(1))
+		r.Events(Event{
+			Kind: RunCompleted, Campaign: res.Name, Index: index,
+			Run: round, Cycles: accesses, Done: n, Total: req.Runs,
+		})
+		r.evmu.Unlock()
+	}
+
+	times := make([]float64, req.Runs)
+	outs := make([]security.RoundOut, req.Runs)
+	err = ShardChunksPool(ctx, r.pool(), req.Runs,
+		func() (*security.Engine, error) { return security.NewEngine(spec, vic) },
+		func(e *security.Engine, lo, hi int) error {
+			for round := lo; round < hi; round++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				e.Round(prng.Derive(req.MasterSeed^securitySeedTag, round), &outs[round])
+				times[round] = outs[round].Accesses
+				onRound(round, outs[round].Accesses)
+			}
+			return nil
+		})
+	res.Times = times
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("core: campaign %s aborted after %d/%d rounds: %w",
+				res.Name, done.Load(), req.Runs, err)
+		}
+		return finish(err)
+	}
+	agg := security.Aggregate(spec, outs)
+	res.Security = &agg
+	return finish(nil)
+}

@@ -26,6 +26,7 @@ type Scale struct {
 	HWMLayouts  int // layouts for the deterministic hwm baseline
 	SynthRuns   int // runs for the synthetic-kernel campaigns
 	Synth160Run int // runs for the 160KB synthetic kernel (costliest)
+	SecRounds   int // attack rounds per security campaign
 	// Workers sizes the shared engine pool built by NewEngine. Zero (the
 	// default) selects runtime.GOMAXPROCS(0); results are bit-identical
 	// for any value. The drivers themselves no longer read it -- they run
@@ -35,12 +36,12 @@ type Scale struct {
 
 // DefaultScale returns the reduced scale used by `go test -bench`.
 func DefaultScale() Scale {
-	return Scale{Runs: 300, HWMLayouts: 40, SynthRuns: 300, Synth160Run: 60}
+	return Scale{Runs: 300, HWMLayouts: 40, SynthRuns: 300, Synth160Run: 60, SecRounds: 120}
 }
 
 // FullScale returns the paper's campaign sizes.
 func FullScale() Scale {
-	return Scale{Runs: 1000, HWMLayouts: 100, SynthRuns: 1000, Synth160Run: 300}
+	return Scale{Runs: 1000, HWMLayouts: 100, SynthRuns: 1000, Synth160Run: 300, SecRounds: 400}
 }
 
 // SmokeScale returns the smallest scale at which every driver still
@@ -48,7 +49,7 @@ func FullScale() Scale {
 // measurements, and ablations halve Runs), used by `paperbench -short`
 // and the CI smoke run.
 func SmokeScale() Scale {
-	return Scale{Runs: 80, HWMLayouts: 10, SynthRuns: 80, Synth160Run: 40}
+	return Scale{Runs: 80, HWMLayouts: 10, SynthRuns: 80, Synth160Run: 40, SecRounds: 24}
 }
 
 // NewEngine builds the shared campaign engine the drivers run on, sized

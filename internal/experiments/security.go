@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/placement"
+	"repro/internal/security"
+)
+
+// --- Security evaluation: attacker success vs placement policy ----------
+//
+// The paper argues random modulo hampers cache side channels because an
+// attacker cannot deterministically colocate lines with a victim's set.
+// This driver quantifies that claim with the three attacker protocols of
+// internal/security, swept over every placement policy and replacement
+// policy: deterministic modulo is the undefended baseline, hRP/RM the
+// randomized designs, and the replacement axis reproduces the observation
+// (Peters et al.) that the replacement policy modulates attack effort.
+
+// SecurityRow is one placement x replacement design point.
+type SecurityRow struct {
+	Placement   string
+	Replacement string
+	Agg         security.Result
+}
+
+// SecurityResult is the success-vs-effort sweep for one protocol.
+type SecurityResult struct {
+	Protocol string
+	Rounds   int
+	Efforts  []int // shared effort axis (accesses budget per curve column)
+	Rows     []SecurityRow
+}
+
+// securityReplacements is the replacement-policy axis of the sweep.
+func securityReplacements() []cache.ReplacementKind {
+	return cache.ReplacementKinds()
+}
+
+// SecuritySweep runs one attacker protocol against every placement and
+// replacement policy: a 20-campaign batch over the engine's shared pool,
+// each campaign s.SecRounds Monte-Carlo rounds. All sizing knobs stay at
+// the protocol defaults so the sweep measures the design points the
+// service would serve for a bare submission.
+func SecuritySweep(ctx context.Context, eng *core.Engine, s Scale, proto security.Protocol) (SecurityResult, error) {
+	out := SecurityResult{Protocol: proto.String(), Rounds: s.SecRounds}
+	var reqs []core.Request
+	for _, kind := range placement.Kinds() {
+		for _, repl := range securityReplacements() {
+			spec := security.Spec{Protocol: proto, Placement: kind, Replacement: repl}
+			reqs = append(reqs, core.Request{
+				Name:       fmt.Sprintf("security/%s/%s/%s", proto, kind, repl),
+				Runs:       s.SecRounds,
+				MasterSeed: MasterSeed,
+				Security:   &spec,
+			})
+		}
+	}
+	results, err := eng.RunBatch(ctx, reqs)
+	if err != nil {
+		return out, fmt.Errorf("security/%s: %w", proto, err)
+	}
+	for i, res := range results {
+		if res.Security == nil {
+			return out, fmt.Errorf("security/%s: campaign %s returned no aggregate", proto, reqs[i].Name)
+		}
+		out.Rows = append(out.Rows, SecurityRow{
+			Placement:   reqs[i].Security.Placement.String(),
+			Replacement: reqs[i].Security.Replacement.String(),
+			Agg:         *res.Security,
+		})
+	}
+	if len(out.Rows) > 0 {
+		for _, p := range out.Rows[0].Agg.Curve {
+			out.Efforts = append(out.Efforts, p.Effort)
+		}
+	}
+	return out, nil
+}
+
+// Render draws the sweep as one success-probability table: a row per
+// placement x replacement, a column per effort level, plus the
+// protocol-specific statistic (eviction-set construction rate for
+// eviction and Prime+Probe, channel capacity for occupancy).
+func (r SecurityResult) Render() string {
+	var b strings.Builder
+	extra := "constructed"
+	if r.Protocol == security.Occupancy.String() {
+		extra = "capacity(bits)"
+	}
+	cols := fmt.Sprintf("%-8s %-7s", "policy", "repl")
+	for _, e := range r.Efforts {
+		cols += fmt.Sprintf(" %10s", fmt.Sprintf("p@%d", e))
+	}
+	cols += fmt.Sprintf("  %s", extra)
+	header(&b, fmt.Sprintf("Security: %s attack success vs effort (%d rounds)", r.Protocol, r.Rounds), cols)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %-7s", row.Placement, row.Replacement)
+		for _, p := range row.Agg.Curve {
+			fmt.Fprintf(&b, " %10.3f", p.Success)
+		}
+		if r.Protocol == security.Occupancy.String() {
+			fmt.Fprintf(&b, "  %8.3f", row.Agg.Capacity)
+		} else {
+			fmt.Fprintf(&b, "  %8.3f", row.Agg.Constructed)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

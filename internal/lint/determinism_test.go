@@ -34,6 +34,7 @@ func TestDefaultDeterminismPackages(t *testing.T) {
 		"repro/internal/evt":       true,
 		"repro/internal/iid":       true,
 		"repro/internal/stats":     true,
+		"repro/internal/security":  true,
 	}
 	got := lint.DefaultDeterminismPackages()
 	if len(got) != len(want) {

@@ -311,5 +311,6 @@ func DefaultDeterminismPackages() []string {
 		"repro/internal/evt",
 		"repro/internal/iid",
 		"repro/internal/stats",
+		"repro/internal/security",
 	}
 }

@@ -1,0 +1,120 @@
+package security
+
+import (
+	"math"
+	"sort"
+)
+
+// occupancyCurve ladders the occupancy channel's effort axis over round
+// prefixes: with n observed rounds the attacker's best strategy is the
+// miss-count threshold that separates the two secret classes best, and
+// the curve reports that classifier's accuracy as n grows. Prefixes of
+// the round-indexed slots are deterministic regardless of which worker
+// produced each slot.
+func occupancyCurve(outs []RoundOut) []CurvePoint {
+	curve := make([]CurvePoint, 0, 4)
+	for _, prefix := range ladder(len(outs), 1) {
+		_, correct := bestThreshold(outs[:prefix])
+		var acc float64
+		for i := 0; i < prefix; i++ {
+			acc += outs[i].Accesses
+		}
+		curve = append(curve, CurvePoint{
+			Effort:   prefix,
+			Success:  float64(correct) / float64(prefix),
+			Accesses: acc,
+		})
+	}
+	return curve
+}
+
+// classMeans returns the mean re-probe miss counts of the active (secret
+// bit 1) and idle rounds.
+func classMeans(outs []RoundOut) (active, idle float64) {
+	var sumA, sumI, nA, nI float64
+	for i := range outs {
+		if outs[i].Bit == 1 {
+			sumA += float64(outs[i].Miss)
+			nA++
+		} else {
+			sumI += float64(outs[i].Miss)
+			nI++
+		}
+	}
+	if nA > 0 {
+		active = sumA / nA
+	}
+	if nI > 0 {
+		idle = sumI / nI
+	}
+	return active, idle
+}
+
+// bestThreshold scans every distinct miss count for the threshold tau
+// maximizing the accuracy of the classifier "active iff miss >= tau",
+// returning tau and the number of rounds it classifies correctly. Ties
+// prefer the lowest threshold, so the result is deterministic.
+func bestThreshold(outs []RoundOut) (tau, correct int) {
+	// Candidate thresholds: 0 (always guess active) and every distinct
+	// miss count + the value above the maximum (never guess active).
+	cand := make([]int, 0, len(outs)+2)
+	cand = append(cand, 0)
+	for i := range outs {
+		cand = append(cand, int(outs[i].Miss), int(outs[i].Miss)+1)
+	}
+	sort.Ints(cand)
+	best, bestCorrect := 0, -1
+	prev := -1
+	for _, t := range cand {
+		if t == prev {
+			continue
+		}
+		prev = t
+		c := 0
+		for i := range outs {
+			guessActive := int(outs[i].Miss) >= t
+			if guessActive == (outs[i].Bit == 1) {
+				c++
+			}
+		}
+		if c > bestCorrect {
+			best, bestCorrect = t, c
+		}
+	}
+	return best, bestCorrect
+}
+
+// mutualInformation estimates the empirical mutual information, in bits
+// per round, between the victim's secret bit and the thresholded observer
+// output "miss >= tau" -- a lower bound on the occupancy channel's
+// capacity under the attacker's best single-threshold strategy.
+func mutualInformation(outs []RoundOut, tau int) float64 {
+	var joint [2][2]float64
+	n := float64(len(outs))
+	if n == 0 {
+		return 0
+	}
+	for i := range outs {
+		y := 0
+		if int(outs[i].Miss) >= tau {
+			y = 1
+		}
+		joint[outs[i].Bit][y]++
+	}
+	var mi float64
+	for b := 0; b < 2; b++ {
+		for y := 0; y < 2; y++ {
+			pxy := joint[b][y] / n
+			if pxy == 0 {
+				continue
+			}
+			px := (joint[b][0] + joint[b][1]) / n
+			py := (joint[0][y] + joint[1][y]) / n
+			mi += pxy * math.Log2(pxy/(px*py))
+		}
+	}
+	if mi < 0 { // guard against float round-off on a null channel
+		mi = 0
+	}
+	return mi
+}

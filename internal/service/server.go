@@ -10,8 +10,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/placement"
+	"repro/internal/security"
 	"repro/internal/workload"
 )
 
@@ -264,6 +266,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/kinds", s.handleKinds)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -399,6 +402,19 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleKinds(w http.ResponseWriter, r *http.Request) {
+	repl := cache.ReplacementKinds()
+	names := make([]string, len(repl))
+	for i, k := range repl {
+		names[i] = k.String()
+	}
+	writeJSON(w, http.StatusOK, kindsJSON{
+		Kinds:        core.KindNames(),
+		Protocols:    security.ProtocolNames(),
+		Replacements: names,
+	})
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {

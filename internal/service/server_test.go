@@ -355,3 +355,72 @@ func TestGracefulDrain(t *testing.T) {
 		t.Fatal("Submit accepted after Close")
 	}
 }
+
+// TestSecurityCampaignService runs a security campaign end to end through
+// the HTTP surface: fresh submission, aggregate in the status result,
+// cache hit on an equivalent respelling, and kind discovery.
+func TestSecurityCampaignService(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	const body = `{"placement":"RM","runs":12,"seed":4,` +
+		`"security":{"protocol":"primeprobe","replacement":"LRU","probe_lines":128,"trials":8}}`
+	first, code := postCampaign(t, ts, body)
+	if code != http.StatusAccepted || first.Cached {
+		t.Fatalf("first security submission: code=%d cached=%v", code, first.Cached)
+	}
+	st := waitDone(t, ts, first.ID)
+	if st.State != "done" || st.Result == nil {
+		t.Fatalf("security campaign state=%s error=%q", st.State, st.Error)
+	}
+	if st.Result.Security == nil || len(st.Result.Security.Curve) == 0 {
+		t.Fatalf("security result missing aggregate: %+v", st.Result)
+	}
+	if st.Result.Security.Protocol != "primeprobe" || st.Result.Security.Rounds != 12 {
+		t.Fatalf("aggregate header %+v", st.Result.Security)
+	}
+	if len(st.Result.Times) != 12 {
+		t.Fatalf("security Times has %d rounds, want 12", len(st.Result.Times))
+	}
+
+	// Equivalent respelling (alias protocol, default replacement spelling
+	// differs in case) must be served from cache.
+	second, code := postCampaign(t, ts, `{"placement":"rm","runs":12,"seed":4,`+
+		`"security":{"protocol":"prime+probe","replacement":"lru","probe_lines":128,"trials":8}}`)
+	if code != http.StatusOK || !second.Cached || second.ID != first.ID {
+		t.Fatalf("respelled security submission: code=%d cached=%v id=%s (want %s)",
+			code, second.Cached, second.ID, first.ID)
+	}
+	if misses := s.Store().Stats().Misses; misses != 1 {
+		t.Fatalf("store misses = %d, want 1", misses)
+	}
+
+	var kinds kindsJSON
+	getJSON(t, ts, "/v1/kinds", &kinds)
+	if len(kinds.Kinds) != 3 || kinds.Kinds[2] != "security" {
+		t.Fatalf("kinds = %+v", kinds.Kinds)
+	}
+	if len(kinds.Protocols) != 3 || len(kinds.Replacements) != 4 {
+		t.Fatalf("security vocabulary = %+v / %+v", kinds.Protocols, kinds.Replacements)
+	}
+}
+
+// TestSecuritySubmitValidation: malformed security submissions map to 400
+// with the core error text, not 500s or silent acceptance.
+func TestSecuritySubmitValidation(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	bad := []string{
+		`{"placement":"RM","runs":10,"security":{"protocol":"flushreload"}}`,
+		`{"placement":"RM","runs":10,"security":{"protocol":"eviction","replacement":"clock"}}`,
+		`{"placement":"RM","runs":10,"security":{"protocol":"eviction","probe_lines":2}}`,
+		`{"placement":"RM","runs":10,"security":{"protocol":"eviction","probe_stride":33}}`,
+		`{"placement":"RM","runs":10,"security":{"protocol":"eviction","trials":8}}`,
+		`{"placement":"RM","runs":10,"baseline":true,"security":{"protocol":"eviction"}}`,
+		`{"placement":"RM","runs":10,"analyze":true,"security":{"protocol":"eviction"}}`,
+		`{"placement":"RM","workload":"tblook01","runs":10,"security":{"protocol":"eviction"}}`,
+		`{"placement":"RM","runs":10,"security":{"protocol":"eviction","budget":9}}`,
+	}
+	for _, body := range bad {
+		if _, code := postCampaign(t, ts, body); code != http.StatusBadRequest {
+			t.Errorf("POST %s -> %d, want 400", body, code)
+		}
+	}
+}

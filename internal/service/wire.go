@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/security"
 )
 
 // submitResponse answers POST /v1/campaigns.
@@ -48,6 +49,9 @@ type resultJSON struct {
 		Stores   int `json:"stores"`
 	} `json:"trace"`
 	Analysis *analysisJSON `json:"analysis,omitempty"`
+	// Security carries the attack aggregate for security campaigns; the
+	// security.Result type already defines its wire form.
+	Security *security.Result `json:"security,omitempty"`
 }
 
 // analysisJSON is the wire form of the MBPTA pipeline output, with the
@@ -95,6 +99,7 @@ func resultOf(res *core.Result) *resultJSON {
 		L2Miss:   res.L2Miss,
 		Times:    res.Times,
 		Analysis: analysisOf(res.Analysis),
+		Security: res.Security,
 	}
 	out.Trace.Accesses = res.Trace.Accesses
 	out.Trace.Fetches = res.Trace.Fetches
@@ -160,6 +165,15 @@ type policyJSON struct {
 	Name       string   `json:"name"`
 	Aliases    []string `json:"aliases,omitempty"`
 	Randomized bool     `json:"randomized"`
+}
+
+// kindsJSON answers GET /v1/kinds: the campaign families the service
+// executes and the vocabulary of the security family's knobs, so clients
+// can discover valid submissions without trial-and-error 400s.
+type kindsJSON struct {
+	Kinds        []string `json:"kinds"`
+	Protocols    []string `json:"security_protocols"`
+	Replacements []string `json:"security_replacements"`
 }
 
 // workloadJSON is one row of GET /v1/workloads.

@@ -48,6 +48,7 @@ import (
 	"repro/internal/hwcost"
 	"repro/internal/iid"
 	"repro/internal/placement"
+	"repro/internal/security"
 	"repro/internal/workload"
 )
 
@@ -174,6 +175,59 @@ const (
 	RunCompleted     = core.RunCompleted
 	CampaignFinished = core.CampaignFinished
 )
+
+// Kind discriminates the campaign protocols a Request can carry: MBPTA
+// measurement, the deterministic HWM baseline, or a security evaluation.
+// Request.Kind reports the kind a given Request resolves to.
+type Kind = core.Kind
+
+// Campaign kinds.
+const (
+	KindMBPTA    = core.KindMBPTA
+	KindBaseline = core.KindBaseline
+	KindSecurity = core.KindSecurity
+)
+
+// KindNames lists the campaign kinds by wire name ("mbpta", "baseline",
+// "security") -- what the service's /v1/kinds endpoint reports.
+func KindNames() []string { return core.KindNames() }
+
+// SecuritySpec configures a security-evaluation campaign: the attacker
+// protocol, the attacked cache's replacement policy, and the attacker
+// knobs (probe-pool size/stride, Prime+Probe trials, occupancy victim
+// size). Attach one to Request.Security; the placement under attack
+// comes from Request.Spec as usual.
+type SecuritySpec = security.Spec
+
+// SecurityResult is a security campaign's aggregate: the
+// success-vs-effort curve, occupancy-channel accuracy and capacity, and
+// the eviction-set construction rate. It arrives in Result.Security.
+type SecurityResult = security.Result
+
+// SecurityCurvePoint is one effort level of a SecurityResult curve.
+type SecurityCurvePoint = security.CurvePoint
+
+// SecurityProtocol selects the attacker protocol of a SecuritySpec.
+type SecurityProtocol = security.Protocol
+
+// Attacker protocols: group-testing eviction-set construction, the
+// cache-occupancy channel, and end-to-end Prime+Probe.
+const (
+	EvictionSet = security.EvictionSet
+	Occupancy   = security.Occupancy
+	PrimeProbe  = security.PrimeProbe
+)
+
+// ParseSecurityProtocol resolves a protocol name or alias ("eviction",
+// "occupancy", "prime+probe", ...) case-insensitively.
+func ParseSecurityProtocol(s string) (SecurityProtocol, error) { return security.ParseProtocol(s) }
+
+// SecurityProtocolNames lists the canonical protocol wire names.
+func SecurityProtocolNames() []string { return security.ProtocolNames() }
+
+// WireSecurity is the JSON wire form of a SecuritySpec inside a
+// WireRequest -- the "security" block of a service submission.
+type WireSecurity = core.WireSecurity
 
 // NewEngine builds an Engine; by default it uses a GOMAXPROCS-sized
 // worker pool, no events, and no default campaign scale.
