@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race vet fmt lint rmlint check-noalloc vuln fuzz-short verify smoke smoke-security smoke-serve serve bench bench-hotpath bench-json bench-compare full-bench
+.PHONY: build test test-short race vet fmt lint rmlint check-noalloc vuln fuzz-short verify smoke smoke-security smoke-serve smoke-metrics serve bench bench-hotpath bench-json bench-compare full-bench
 
 build:
 	$(GO) build ./...
@@ -75,6 +75,12 @@ smoke-security:
 # resubmission (same fingerprint, no re-run). What CI's service step runs.
 smoke-serve:
 	sh scripts/smoke-serve.sh
+
+# Observability smoke: after one campaign, /metrics must serve nonzero
+# campaign/store/HTTP series, /v1/traces the campaign's span, and every
+# response an X-Request-Id header.
+smoke-metrics:
+	sh scripts/smoke-metrics.sh
 
 # Run the campaign service daemon locally.
 serve:

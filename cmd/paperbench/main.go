@@ -15,7 +15,7 @@
 //
 //	paperbench [-exp all|table1|table2|fig1|fig4a|fig4b|fig5|avgperf|collision|ablations|multicore|convergence]
 //	           [-full|-short] [-workers N] [-timeout d] [-progress] [-csv dir] [-json path]
-//	           [-cpuprofile path] [-memprofile path]
+//	           [-metrics path] [-cpuprofile path] [-memprofile path]
 //
 // -full restores the paper's campaign sizes (1000 runs per benchmark);
 // -short shrinks them to a smoke-test scale; the default regenerates
@@ -27,6 +27,9 @@
 // and -csv writes machine-readable series for plotting. -json writes a
 // per-campaign summary (name, HWM, mean, pWCET quantiles, wall time) so
 // the performance trajectory can be tracked across code changes.
+// -metrics writes the observability registry (campaign latency histograms
+// with p50/p99/p999 per campaign kind, run counters, pool occupancy) plus
+// the recent campaign trace spans as a JSON document at exit.
 // -cpuprofile and -memprofile write pprof profiles of the regeneration
 // (the whole run for CPU; a heap snapshot at exit for memory), so
 // hot-path regressions can be profiled without editing the harness:
@@ -37,6 +40,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -50,6 +54,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/security"
 )
 
@@ -83,6 +88,7 @@ func main() {
 	progress := flag.Bool("progress", stderrIsTerminal(), "live per-campaign progress line on stderr")
 	csvDir := flag.String("csv", "", "directory for machine-readable CSV output (optional)")
 	jsonPath := flag.String("json", "", "write machine-readable per-campaign results (name, HWM, mean, pWCET quantiles, wall time) to this file")
+	metricsPath := flag.String("metrics", "", "write the metrics registry (campaign latency histograms with p50/p99/p999, run counters) and recent trace spans as JSON to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the regeneration to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -123,14 +129,23 @@ func main() {
 	var opts []core.EngineOption
 	var meter *progressMeter
 	var recorder *resultRecorder
+	var collector *obs.EngineCollector
+	var registry *obs.Registry
 	if *jsonPath != "" {
 		recorder = newResultRecorder()
 	}
-	if *progress || recorder != nil {
+	if *metricsPath != "" {
+		registry = obs.NewRegistry()
+		collector = obs.NewEngineCollector(registry, nil)
+	}
+	if *progress || recorder != nil || collector != nil {
 		if *progress {
 			meter = newProgressMeter(os.Stderr)
 		}
 		opts = append(opts, core.WithEvents(func(ev core.Event) {
+			if collector != nil {
+				collector.Observe(ev)
+			}
 			if recorder != nil {
 				recorder.observe(ev)
 			}
@@ -140,6 +155,9 @@ func main() {
 		}))
 	}
 	eng := experiments.NewEngine(scale, opts...)
+	if registry != nil {
+		obs.RegisterPool(registry, eng.Pool())
+	}
 
 	run := func(name string, f func() (string, error)) {
 		if *exp != "all" && *exp != name {
@@ -335,6 +353,29 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "paperbench: wrote %s\n", *jsonPath)
 	}
+	if registry != nil {
+		if err := writeMetrics(*metricsPath, registry, collector.Tracer()); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: writing -metrics dump: %v\n", err)
+			stopProfiles()
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "paperbench: wrote %s\n", *metricsPath)
+	}
+}
+
+// writeMetrics dumps the registry (every family, with histogram
+// p50/p99/p999) and the retained trace spans as one JSON document.
+func writeMetrics(path string, reg *obs.Registry, tracer *obs.Tracer) error {
+	doc := struct {
+		GeneratedAt time.Time           `json:"generated_at"`
+		Metrics     *obs.Registry       `json:"metrics"`
+		Traces      []obs.CampaignTrace `json:"traces"`
+	}{GeneratedAt: time.Now().UTC(), Metrics: reg, Traces: tracer.Recent()}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // progressMeter renders a single overwritten status line from Engine

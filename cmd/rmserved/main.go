@@ -6,7 +6,7 @@
 // Usage:
 //
 //	rmserved [-addr :8080] [-workers N] [-jobs N] [-queue N] [-cache N]
-//	         [-default-runs N] [-max-runs N]
+//	         [-default-runs N] [-max-runs N] [-log text|json] [-pprof]
 //
 // Endpoints:
 //
@@ -17,7 +17,14 @@
 //	GET  /v1/policies              placement policy catalog
 //	GET  /v1/workloads             workload catalog
 //	GET  /v1/kinds                 campaign kinds + security protocol vocabulary
+//	GET  /v1/traces                recent campaign trace spans (phase timings)
 //	GET  /healthz                  liveness + queue and cache statistics
+//	GET  /metrics                  Prometheus text-format metrics
+//	GET  /debug/pprof/...          Go profiling endpoints (only with -pprof)
+//
+// Every request is access-logged (-log selects text or JSON lines) with a
+// request ID that is echoed back in the X-Request-Id response header;
+// clients may supply their own X-Request-Id to correlate across hops.
 //
 // Timing campaigns (the default) measure MBPTA or baseline execution
 // times; security campaigns (submissions with a "security" block) run
@@ -38,6 +45,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,9 +62,11 @@ func main() {
 	cache := flag.Int("cache", 1024, "content-addressed result cache size (entries, LRU)")
 	defaultRuns := flag.Int("default-runs", 300, "runs applied to submissions that omit them")
 	maxRuns := flag.Int("max-runs", 100000, "largest accepted campaign")
+	logFormat := flag.String("log", "text", "access-log format: text or json")
+	pprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	if err := validateFlags(*jobs, *queue, *cache, *defaultRuns, *maxRuns); err != nil {
+	if err := validateFlags(*jobs, *queue, *cache, *defaultRuns, *maxRuns, *logFormat); err != nil {
 		fmt.Fprintln(os.Stderr, "rmserved:", err)
 		os.Exit(2)
 	}
@@ -76,7 +86,7 @@ func main() {
 		MaxRuns:     *maxRuns,
 	})
 	srv := &http.Server{
-		Handler:           svc.Handler(),
+		Handler:           service.AccessLog(handler(svc, *pprof), os.Stderr, *logFormat),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -108,10 +118,27 @@ func main() {
 	}
 }
 
+// handler assembles the daemon's route table: the service API, plus the
+// pprof endpoints when enabled. pprof is opt-in because it exposes heap
+// and goroutine internals — never on by default on a network service.
+func handler(svc *service.Server, withPprof bool) http.Handler {
+	if !withPprof {
+		return svc.Handler()
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // validateFlags checks the numeric service knobs up front: an invalid
 // value is a usage error reported on exit code 2, consistent with the
 // flag-validation convention of rmsim, mbpta, tracegen and paperbench.
-func validateFlags(jobs, queue, cache, defaultRuns, maxRuns int) error {
+func validateFlags(jobs, queue, cache, defaultRuns, maxRuns int, logFormat string) error {
 	switch {
 	case jobs < 1:
 		return fmt.Errorf("-jobs must be at least 1, got %d", jobs)
@@ -125,6 +152,8 @@ func validateFlags(jobs, queue, cache, defaultRuns, maxRuns int) error {
 		return fmt.Errorf("-max-runs must be at least 1, got %d", maxRuns)
 	case defaultRuns > maxRuns:
 		return fmt.Errorf("-default-runs %d exceeds -max-runs %d", defaultRuns, maxRuns)
+	case !service.ValidLogFormat(logFormat):
+		return fmt.Errorf("-log must be text or json, got %q", logFormat)
 	}
 	return nil
 }

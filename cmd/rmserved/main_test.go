@@ -16,27 +16,29 @@ import (
 // invalid values are usage errors (reported on exit code 2 by main, like
 // the other commands) that name the offending flag and value.
 func TestValidateFlags(t *testing.T) {
-	if err := validateFlags(2, 64, 1024, 300, 100000); err != nil {
+	if err := validateFlags(2, 64, 1024, 300, 100000, "text"); err != nil {
 		t.Fatalf("default flag set rejected: %v", err)
 	}
-	if err := validateFlags(1, 1, 0, 1, 1); err != nil {
+	if err := validateFlags(1, 1, 0, 1, 1, "json"); err != nil {
 		t.Fatalf("minimal valid flag set rejected: %v", err)
 	}
 	bad := []struct {
 		name                                string
 		jobs, queue, cache, defRuns, maxRun int
+		logFormat                           string
 		wantFlag                            string
 	}{
-		{"zero jobs", 0, 64, 1024, 300, 100000, "-jobs"},
-		{"negative jobs", -3, 64, 1024, 300, 100000, "-jobs"},
-		{"zero queue", 2, 0, 1024, 300, 100000, "-queue"},
-		{"negative cache", 2, 64, -1, 300, 100000, "-cache"},
-		{"zero default runs", 2, 64, 1024, 0, 100000, "-default-runs"},
-		{"zero max runs", 2, 64, 1024, 300, 0, "-max-runs"},
-		{"default above max", 2, 64, 1024, 500, 400, "-default-runs"},
+		{"zero jobs", 0, 64, 1024, 300, 100000, "text", "-jobs"},
+		{"negative jobs", -3, 64, 1024, 300, 100000, "text", "-jobs"},
+		{"zero queue", 2, 0, 1024, 300, 100000, "text", "-queue"},
+		{"negative cache", 2, 64, -1, 300, 100000, "text", "-cache"},
+		{"zero default runs", 2, 64, 1024, 0, 100000, "text", "-default-runs"},
+		{"zero max runs", 2, 64, 1024, 300, 0, "text", "-max-runs"},
+		{"default above max", 2, 64, 1024, 500, 400, "text", "-default-runs"},
+		{"unknown log format", 2, 64, 1024, 300, 100000, "xml", "-log"},
 	}
 	for _, tc := range bad {
-		err := validateFlags(tc.jobs, tc.queue, tc.cache, tc.defRuns, tc.maxRun)
+		err := validateFlags(tc.jobs, tc.queue, tc.cache, tc.defRuns, tc.maxRun, tc.logFormat)
 		if err == nil {
 			t.Errorf("%s accepted", tc.name)
 			continue
@@ -66,6 +68,51 @@ func TestListenHost(t *testing.T) {
 	got := listenHost(wild)
 	if !strings.HasPrefix(got, "127.0.0.1:") {
 		t.Fatalf("wildcard listenHost = %q, want a connectable 127.0.0.1:port", got)
+	}
+}
+
+// TestPprofGate: the profiling endpoints exist only behind -pprof, and
+// the service API keeps working through the combined mux.
+func TestPprofGate(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	defer svc.Close()
+
+	plain := httptest.NewServer(handler(svc, false))
+	defer plain.Close()
+	resp, err := http.Get(plain.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without -pprof -> %d, want 404", resp.StatusCode)
+	}
+
+	prof := httptest.NewServer(handler(svc, true))
+	defer prof.Close()
+	resp, err = http.Get(prof.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index -> %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(prof.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz through the pprof mux -> %d", resp.StatusCode)
+	}
+	resp, err = http.Get(prof.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics through the pprof mux -> %d", resp.StatusCode)
 	}
 }
 

@@ -135,6 +135,12 @@ const (
 	// CampaignFinished fires once per request, after its last run, the
 	// optional analysis, or a failure (Err non-nil).
 	CampaignFinished
+	// PhaseDone fires when a campaign phase ends (Event.Phase names it:
+	// "compile", "replay", "analyze"), so observers can attribute wall
+	// time without any clock read on the execution path. Phases that do
+	// not apply to a campaign kind simply never fire (baseline campaigns
+	// rebuild their trace per run, security campaigns never analyze).
+	PhaseDone
 )
 
 // String names the kind for logs.
@@ -146,9 +152,18 @@ func (k EventKind) String() string {
 		return "run"
 	case CampaignFinished:
 		return "finished"
+	case PhaseDone:
+		return "phase"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
+
+// Campaign phase names carried by PhaseDone events.
+const (
+	PhaseCompile = "compile"
+	PhaseReplay  = "replay"
+	PhaseAnalyze = "analyze"
+)
 
 // Event is one progress notification. Deliveries are serialized (the sink
 // never runs concurrently with itself), so sinks need no locking of their
@@ -157,14 +172,16 @@ func (k EventKind) String() string {
 // buffered channel or drop, never an unbuffered rendezvous), and must not
 // call back into the Engine or Runner that delivered the event.
 type Event struct {
-	Kind     EventKind
-	Campaign string // Request.Name (or its default)
-	Index    int    // position of the request in its batch (0 for Run)
-	Run      int    // completed run index (RunCompleted only)
-	Cycles   float64
-	Done     int   // completed runs so far, campaign-local
-	Total    int   // Request.Runs
-	Err      error // CampaignFinished only; nil on success
+	Kind         EventKind
+	Campaign     string // Request.Name (or its default)
+	CampaignKind Kind   // campaign family of the request (Request.Kind())
+	Phase        string // completed phase name (PhaseDone only)
+	Index        int    // position of the request in its batch (0 for Run)
+	Run          int    // completed run index (RunCompleted only)
+	Cycles       float64
+	Done         int   // completed runs so far, campaign-local
+	Total        int   // Request.Runs
+	Err          error // CampaignFinished only; nil on success
 }
 
 // Runner executes campaign Requests over a shared Pool of simulation
@@ -217,15 +234,24 @@ func (r *Runner) Run(ctx context.Context, req Request) (Result, error) {
 // the Result carries the partial measurement vector.
 func (r *Runner) run(ctx context.Context, index int, req Request) (Result, error) {
 	res := Result{Name: req.name()}
+	kind := req.Kind()
 	var done atomic.Int64
 	// Every submitted request emits exactly one CampaignStarted and one
 	// CampaignFinished (Err set on failure), so stream consumers can
 	// count completions without special-casing validation errors.
-	r.emit(Event{Kind: CampaignStarted, Campaign: res.Name, Index: index, Total: req.Runs})
+	r.emit(Event{Kind: CampaignStarted, Campaign: res.Name, CampaignKind: kind, Index: index, Total: req.Runs})
 	finish := func(err error) (Result, error) {
-		r.emit(Event{Kind: CampaignFinished, Campaign: res.Name, Index: index,
+		r.emit(Event{Kind: CampaignFinished, Campaign: res.Name, CampaignKind: kind, Index: index,
 			Done: int(done.Load()), Total: req.Runs, Err: err})
 		return res, err
+	}
+	// phase marks a phase boundary for observers (latency attribution,
+	// trace spans). Like every event it is emitted off the replay path —
+	// at most three deliveries per campaign — and carries no timestamp:
+	// clocks stay with the observers, keeping this package deterministic.
+	phase := func(name string) {
+		r.emit(Event{Kind: PhaseDone, Campaign: res.Name, CampaignKind: kind, Index: index,
+			Phase: name, Done: int(done.Load()), Total: req.Runs})
 	}
 	if req.Runs < 1 {
 		return finish(errors.New("core: campaign needs at least one run"))
@@ -295,6 +321,7 @@ func (r *Runner) run(ctx context.Context, index int, req Request) (Result, error
 		f, l, st := tr.Counts()
 		res.Trace.Accesses = len(tr)
 		res.Trace.Fetches, res.Trace.Loads, res.Trace.Stores = f, l, st
+		phase(PhaseCompile)
 		do = func(p *sim.Core, run int) (sim.Result, error) {
 			p.Reseed(prng.Derive(req.MasterSeed, run))
 			if ct != nil && p.SupportsCompiled(ct.LineBytes) {
@@ -315,7 +342,7 @@ func (r *Runner) run(ctx context.Context, index int, req Request) (Result, error
 		r.evmu.Lock()
 		n := int(done.Add(1))
 		r.Events(Event{
-			Kind: RunCompleted, Campaign: res.Name, Index: index,
+			Kind: RunCompleted, Campaign: res.Name, CampaignKind: kind, Index: index,
 			Run: run, Cycles: float64(sr.Cycles), Done: n, Total: req.Runs,
 		})
 		r.evmu.Unlock()
@@ -334,6 +361,7 @@ func (r *Runner) run(ctx context.Context, index int, req Request) (Result, error
 	res.IL1Miss = totals.IL1.MissRatio()
 	res.DL1Miss = totals.DL1.MissRatio()
 	res.L2Miss = totals.L2.MissRatio()
+	phase(PhaseReplay)
 
 	if req.Analyze {
 		an, err := Analyze(res.Times)
@@ -341,6 +369,7 @@ func (r *Runner) run(ctx context.Context, index int, req Request) (Result, error
 			return finish(err)
 		}
 		res.Analysis = &an
+		phase(PhaseAnalyze)
 	}
 	return finish(nil)
 }

@@ -55,6 +55,11 @@ func normWorkers(workers, runs int) int {
 // without influencing any campaign's results.
 type Pool struct {
 	slots chan struct{}
+	// Occupancy accounting for observability polls (InUse, Acquires):
+	// plain atomics off the simulation path, never consulted by any
+	// campaign, so the determinism contract is untouched.
+	busy     atomic.Int64
+	acquires atomic.Uint64
 }
 
 // NewPool returns a pool of the given size; non-positive selects
@@ -72,17 +77,29 @@ func NewPool(workers int) *Pool {
 // Workers reports the pool capacity.
 func (p *Pool) Workers() int { return cap(p.slots) }
 
+// InUse reports how many slots are currently held — a point-in-time
+// occupancy reading for metrics polls.
+func (p *Pool) InUse() int { return int(p.busy.Load()) }
+
+// Acquires reports how many slot acquisitions ever succeeded.
+func (p *Pool) Acquires() uint64 { return p.acquires.Load() }
+
 // acquire blocks until a slot is free or the context is done.
 func (p *Pool) acquire(ctx context.Context) error {
 	select {
 	case p.slots <- struct{}{}:
+		p.busy.Add(1)
+		p.acquires.Add(1)
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
 
-func (p *Pool) release() { <-p.slots }
+func (p *Pool) release() {
+	p.busy.Add(-1)
+	<-p.slots
+}
 
 // ShardRuns executes runs [0, runs) across a pool of workers. Each worker
 // calls build once to obtain its private execution context (simulators are

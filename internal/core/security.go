@@ -55,6 +55,8 @@ func (r *Runner) runSecurity(ctx context.Context, index int, req Request, res *R
 		if err != nil {
 			return finish(fmt.Errorf("core: compiling victim workload %s: %w", req.Workload.Name, err))
 		}
+		r.emit(Event{Kind: PhaseDone, Campaign: res.Name, CampaignKind: KindSecurity, Index: index,
+			Phase: PhaseCompile, Total: req.Runs})
 	}
 
 	onRound := func(round int, accesses float64) {
@@ -65,7 +67,7 @@ func (r *Runner) runSecurity(ctx context.Context, index int, req Request, res *R
 		r.evmu.Lock()
 		n := int(done.Add(1))
 		r.Events(Event{
-			Kind: RunCompleted, Campaign: res.Name, Index: index,
+			Kind: RunCompleted, Campaign: res.Name, CampaignKind: KindSecurity, Index: index,
 			Run: round, Cycles: accesses, Done: n, Total: req.Runs,
 		})
 		r.evmu.Unlock()
@@ -94,6 +96,8 @@ func (r *Runner) runSecurity(ctx context.Context, index int, req Request, res *R
 		}
 		return finish(err)
 	}
+	r.emit(Event{Kind: PhaseDone, Campaign: res.Name, CampaignKind: KindSecurity, Index: index,
+		Phase: PhaseReplay, Done: int(done.Load()), Total: req.Runs})
 	agg := security.Aggregate(spec, outs)
 	res.Security = &agg
 	return finish(nil)

@@ -21,8 +21,8 @@ func TestDeterminismScopedToConfiguredPackages(t *testing.T) {
 }
 
 // TestDefaultDeterminismPackages pins the production configuration: the
-// result-affecting set is exactly the packages whose outputs feed
-// campaign results.
+// packages whose outputs feed campaign results, plus internal/obs so
+// the observability kit's own clock reads stay audited exceptions.
 func TestDefaultDeterminismPackages(t *testing.T) {
 	want := map[string]bool{
 		"repro/internal/cache":     true,
@@ -35,6 +35,7 @@ func TestDefaultDeterminismPackages(t *testing.T) {
 		"repro/internal/iid":       true,
 		"repro/internal/stats":     true,
 		"repro/internal/security":  true,
+		"repro/internal/obs":       true,
 	}
 	got := lint.DefaultDeterminismPackages()
 	if len(got) != len(want) {

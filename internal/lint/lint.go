@@ -312,5 +312,9 @@ func DefaultDeterminismPackages() []string {
 		"repro/internal/iid",
 		"repro/internal/stats",
 		"repro/internal/security",
+		// obs is observation-only (its outputs never feed results), but it
+		// is covered so every clock read it performs is an annotated,
+		// audited exception rather than an invisible ambient dependency.
+		"repro/internal/obs",
 	}
 }

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// EngineCollector turns the Engine's event stream into metrics and trace
+// spans. It is the only place campaign wall time is measured: the engine
+// emits clock-free phase markers (core.PhaseDone) and the collector
+// timestamps them at delivery, so the nine deterministic packages never
+// read a clock and results are byte-identical with metrics on or off.
+//
+// Wire it in front of an existing sink with Sink, or install Observe
+// directly via core.WithEvents. Observe honours the Event sink contract:
+// it is fast (atomic updates on pre-registered instruments), never
+// blocks, and never calls back into the engine.
+type EngineCollector struct {
+	tracer *Tracer
+
+	// Resolve optionally maps a campaign label (as carried by events) to
+	// a display name and a content fingerprint for the trace span. The
+	// service installs one so spans show the submitted name and the
+	// store fingerprint; CLI runs leave it nil.
+	Resolve func(campaign string) (display, fingerprint string)
+
+	latency  map[string]*Histogram    // campaign latency by kind
+	phases   map[[2]string]*Histogram // phase latency by kind, phase
+	runs     map[string]*Counter      // completed runs by kind
+	outcomes map[[2]string]*Counter   // finished campaigns by kind, status
+	inflight *Gauge
+
+	mu     sync.Mutex
+	active map[spanKey]*span
+}
+
+// spanKey identifies an in-flight campaign: batch submissions reuse
+// labels, so the batch index disambiguates.
+type spanKey struct {
+	campaign string
+	index    int
+}
+
+// span accumulates one campaign's timings between its events.
+type span struct {
+	start                    time.Time
+	last                     time.Time // end of the previous phase
+	compile, replay, analyze float64
+	kind                     core.Kind
+	runs                     int
+}
+
+// phaseNames lists the phases a campaign can report, in pipeline order.
+var phaseNames = []string{core.PhaseCompile, core.PhaseReplay, core.PhaseAnalyze}
+
+// NewEngineCollector registers the engine metric families on reg and
+// returns a collector recording into them and into tracer (nil selects a
+// private NewTracer(0)). Instruments are pre-registered per campaign
+// kind, so Observe allocates nothing.
+func NewEngineCollector(reg *Registry, tracer *Tracer) *EngineCollector {
+	if tracer == nil {
+		tracer = NewTracer(0)
+	}
+	c := &EngineCollector{
+		tracer:   tracer,
+		latency:  make(map[string]*Histogram),
+		phases:   make(map[[2]string]*Histogram),
+		runs:     make(map[string]*Counter),
+		outcomes: make(map[[2]string]*Counter),
+		active:   make(map[spanKey]*span),
+	}
+	for _, kind := range core.KindNames() {
+		c.latency[kind] = reg.LatencyHistogram("rm_campaign_latency_seconds",
+			"End-to-end campaign latency by campaign kind.", L("kind", kind))
+		c.runs[kind] = reg.Counter("rm_runs_total",
+			"Completed simulation runs (attack rounds for security campaigns).", L("kind", kind))
+		for _, ph := range phaseNames {
+			c.phases[[2]string{kind, ph}] = reg.LatencyHistogram("rm_campaign_phase_seconds",
+				"Campaign phase latency by kind and phase.", L("kind", kind), L("phase", ph))
+		}
+		for _, status := range []string{"ok", "error"} {
+			c.outcomes[[2]string{kind, status}] = reg.Counter("rm_campaigns_total",
+				"Finished campaigns by kind and outcome.", L("kind", kind), L("status", status))
+		}
+	}
+	c.inflight = reg.Gauge("rm_campaigns_inflight",
+		"Campaigns started but not yet finished.")
+	return c
+}
+
+// Tracer returns the collector's trace ring.
+func (c *EngineCollector) Tracer() *Tracer { return c.tracer }
+
+// Sink wraps an existing event sink: observe, then forward. next may be
+// nil.
+func (c *EngineCollector) Sink(next func(core.Event)) func(core.Event) {
+	if next == nil {
+		return c.Observe
+	}
+	return func(ev core.Event) {
+		c.Observe(ev)
+		next(ev)
+	}
+}
+
+// Observe records one engine event.
+func (c *EngineCollector) Observe(ev core.Event) {
+	key := spanKey{ev.Campaign, ev.Index}
+	switch ev.Kind {
+	case core.CampaignStarted:
+		t := now()
+		c.mu.Lock()
+		c.active[key] = &span{start: t, last: t, kind: ev.CampaignKind, runs: ev.Total}
+		c.mu.Unlock()
+		c.inflight.Add(1)
+	case core.RunCompleted:
+		if ctr := c.runs[ev.CampaignKind.String()]; ctr != nil {
+			ctr.Inc()
+		}
+	case core.PhaseDone:
+		t := now()
+		c.mu.Lock()
+		sp := c.active[key]
+		var d float64
+		if sp != nil {
+			d = t.Sub(sp.last).Seconds()
+			sp.last = t
+			switch ev.Phase {
+			case core.PhaseCompile:
+				sp.compile += d
+			case core.PhaseReplay:
+				sp.replay += d
+			case core.PhaseAnalyze:
+				sp.analyze += d
+			}
+		}
+		c.mu.Unlock()
+		if sp != nil {
+			if h := c.phases[[2]string{ev.CampaignKind.String(), ev.Phase}]; h != nil {
+				h.Observe(int64(d * 1e9))
+			}
+		}
+	case core.CampaignFinished:
+		t := now()
+		c.mu.Lock()
+		sp := c.active[key]
+		delete(c.active, key)
+		c.mu.Unlock()
+		c.inflight.Add(-1)
+		status := "ok"
+		if ev.Err != nil {
+			status = "error"
+		}
+		if ctr := c.outcomes[[2]string{ev.CampaignKind.String(), status}]; ctr != nil {
+			ctr.Inc()
+		}
+		if sp == nil {
+			return
+		}
+		total := t.Sub(sp.start)
+		if h := c.latency[ev.CampaignKind.String()]; h != nil {
+			h.Observe(total.Nanoseconds())
+		}
+		tr := CampaignTrace{
+			Campaign:       ev.Campaign,
+			Kind:           ev.CampaignKind.String(),
+			Runs:           sp.runs,
+			Start:          sp.start,
+			CompileSeconds: sp.compile,
+			ReplaySeconds:  sp.replay,
+			AnalyzeSeconds: sp.analyze,
+			TotalSeconds:   total.Seconds(),
+		}
+		if ev.Err != nil {
+			tr.Error = ev.Err.Error()
+		}
+		if c.Resolve != nil {
+			display, fp := c.Resolve(ev.Campaign)
+			if display != "" {
+				tr.Campaign = display
+			}
+			if len(fp) > fingerprintPrefixLen {
+				fp = fp[:fingerprintPrefixLen]
+			}
+			tr.Fingerprint = fp
+		}
+		c.tracer.add(tr)
+	}
+}
+
+// RegisterPool exposes a core worker pool's occupancy on reg as polled
+// gauges/counters: capacity, busy slots, and total acquisitions.
+func RegisterPool(reg *Registry, pool *core.Pool) {
+	reg.GaugeFunc("rm_pool_workers",
+		"Simulation worker pool capacity.",
+		func() float64 { return float64(pool.Workers()) })
+	reg.GaugeFunc("rm_pool_workers_busy",
+		"Simulation worker slots currently held.",
+		func() float64 { return float64(pool.InUse()) })
+	reg.CounterFunc("rm_pool_acquires_total",
+		"Worker slot acquisitions since start.",
+		pool.Acquires)
+}

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// registerMetrics wires the service's own instruments onto the registry:
+// the result cache's counters, the job queue's occupancy, and the
+// queue-wait histogram. Engine-level metrics (campaign latency, phases,
+// runs, pool occupancy) are registered by the obs.EngineCollector and
+// obs.RegisterPool in New.
+func (s *Server) registerMetrics() {
+	s.queueWait = s.reg.LatencyHistogram("rm_queue_wait_seconds",
+		"Time campaigns spent queued before a job worker picked them up.")
+	s.jobsRunning = s.reg.Gauge("rm_jobs_inflight",
+		"Campaign jobs currently executing on the engine.")
+	s.reg.GaugeFunc("rm_job_workers",
+		"Configured concurrent campaign job workers.",
+		func() float64 { return float64(s.cfg.Jobs) })
+	s.reg.GaugeFunc("rm_queue_depth",
+		"Admitted campaigns waiting for a job worker.",
+		func() float64 { return float64(len(s.queue)) })
+	s.reg.GaugeFunc("rm_queue_capacity",
+		"Bound of the admitted-but-not-running backlog.",
+		func() float64 { return float64(cap(s.queue)) })
+	s.reg.CounterFunc("rm_store_hits_total",
+		"Result-cache hits (submissions served without execution).",
+		s.store.hits.Load)
+	s.reg.CounterFunc("rm_store_misses_total",
+		"Result-cache misses (submissions that scheduled an execution).",
+		s.store.misses.Load)
+	s.reg.CounterFunc("rm_store_evictions_total",
+		"Result-cache LRU evictions.",
+		s.store.evictions.Load)
+	s.reg.GaugeFunc("rm_store_entries",
+		"Resident result-cache entries.",
+		func() float64 { return float64(s.store.Len()) })
+}
+
+// routeStats instruments one mux route: a latency histogram plus
+// lazily-registered per-status request counters (the status vocabulary of
+// a route is tiny, so the map stays a handful of entries).
+type routeStats struct {
+	reg      *obs.Registry
+	route    string
+	latency  *obs.Histogram
+	mu       sync.Mutex
+	byStatus map[int]*obs.Counter
+}
+
+func (rs *routeStats) counter(status int) *obs.Counter {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	c, ok := rs.byStatus[status]
+	if !ok {
+		c = rs.reg.Counter("rm_http_requests_total",
+			"HTTP requests by route and status.",
+			obs.L("route", rs.route), obs.L("status", strconv.Itoa(status)))
+		rs.byStatus[status] = c
+	}
+	return c
+}
+
+// instrument wraps a handler with per-route latency and request-count
+// recording. The route label is the registration pattern (static, so
+// path parameters never explode the label space).
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	rs := &routeStats{
+		reg:   s.reg,
+		route: route,
+		latency: s.reg.LatencyHistogram("rm_http_request_seconds",
+			"HTTP request latency by route.", obs.L("route", route)),
+		byStatus: make(map[int]*obs.Counter),
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		rs.latency.Observe(time.Since(start).Nanoseconds())
+		rs.counter(sw.code()).Inc()
+	}
+}
+
+// statusWriter captures the response status (and byte count) while
+// forwarding everything — including Flush, which the NDJSON event stream
+// depends on — to the wrapped ResponseWriter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports flushing, so
+// streaming responses keep streaming through the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// code returns the effective status (200 when the handler never wrote).
+func (w *statusWriter) code() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}

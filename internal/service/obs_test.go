@@ -1,0 +1,347 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsEndpoint is the acceptance check of the observability PR:
+// after one campaign, GET /metrics serves Prometheus text format with
+// nonzero campaign latency, run, store and HTTP series.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	sub, code := postCampaign(t, ts, `{"workload":"puwmod01","placement":"RM","runs":50,"seed":7}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit -> %d", code)
+	}
+	waitDone(t, ts, sub.ID)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	for _, want := range []string{
+		"# TYPE rm_campaign_latency_seconds histogram",
+		`rm_campaign_latency_seconds_count{kind="mbpta"} 1`,
+		`rm_campaign_latency_seconds_bucket{kind="mbpta",le="+Inf"} 1`,
+		`rm_campaign_phase_seconds_count{kind="mbpta",phase="replay"} 1`,
+		`rm_runs_total{kind="mbpta"} 50`,
+		`rm_campaigns_total{kind="mbpta",status="ok"} 1`,
+		"rm_campaigns_inflight 0",
+		"rm_store_misses_total 1",
+		"rm_queue_wait_seconds_count 1",
+		"rm_queue_capacity 64",
+		"rm_pool_workers 2",
+		"rm_pool_acquires_total",
+		`rm_http_requests_total{route="/v1/campaigns",status="202"} 1`,
+		`rm_http_request_seconds_count{route="/v1/campaigns"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The campaign ran: its latency histogram must hold a positive sum.
+	if strings.Contains(out, `rm_campaign_latency_seconds_sum{kind="mbpta"} 0`+"\n") {
+		t.Error("campaign latency sum is zero")
+	}
+}
+
+// TestHealthzShape pins the JSON shape of /healthz: the nested queue
+// object (depth, capacity) and the cache block including evictions.
+func TestHealthzShape(t *testing.T) {
+	_, ts := testServer(t, Config{QueueDepth: 7})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"status", "uptime_seconds", "workers", "job_slots", "queue", "jobs", "cache"} {
+		if _, ok := h[key]; !ok {
+			t.Errorf("healthz missing %q: %v", key, h)
+		}
+	}
+	queue, ok := h["queue"].(map[string]any)
+	if !ok {
+		t.Fatalf("queue is not an object: %v", h["queue"])
+	}
+	if queue["capacity"] != float64(7) {
+		t.Errorf("queue.capacity = %v, want 7", queue["capacity"])
+	}
+	if _, ok := queue["depth"]; !ok {
+		t.Errorf("queue.depth missing: %v", queue)
+	}
+	cache, ok := h["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("cache is not an object: %v", h["cache"])
+	}
+	for _, key := range []string{"hits", "misses", "evictions", "entries"} {
+		if _, ok := cache[key]; !ok {
+			t.Errorf("cache.%s missing: %v", key, cache)
+		}
+	}
+}
+
+// TestTracesEndpoint: a finished campaign leaves one trace span carrying
+// the display label, the fingerprint prefix, and a timed replay phase.
+func TestTracesEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	sub, _ := postCampaign(t, ts, `{"name":"my-campaign","workload":"puwmod01","placement":"RM","runs":30,"seed":11}`)
+	waitDone(t, ts, sub.ID)
+
+	var out tracesJSON
+	getJSON(t, ts, "/v1/traces", &out)
+	if out.Total != 1 || len(out.Traces) != 1 {
+		t.Fatalf("traces = %+v", out)
+	}
+	sp := out.Traces[0]
+	if sp.Campaign != "my-campaign" {
+		t.Errorf("span campaign = %q, want the display label", sp.Campaign)
+	}
+	if sp.Kind != "mbpta" || sp.Runs != 30 {
+		t.Errorf("span = %+v", sp)
+	}
+	if len(sp.Fingerprint) != 16 || !strings.HasPrefix(sub.Fingerprint, sp.Fingerprint) {
+		t.Errorf("span fingerprint %q is not a 16-char prefix of %q", sp.Fingerprint, sub.Fingerprint)
+	}
+	if sp.ReplaySeconds <= 0 || sp.TotalSeconds < sp.ReplaySeconds {
+		t.Errorf("span timings = %+v", sp)
+	}
+}
+
+// TestEventStreamSlowConsumer: a reader that drains slowly may lose
+// intermediate run events (the sink never blocks), but what it sees stays
+// ordered — the done counter is monotone — and the stream still ends with
+// the terminal "end" line.
+func TestEventStreamSlowConsumer(t *testing.T) {
+	_, ts := testServer(t, Config{Jobs: 1})
+	// Blocker occupies the single job slot so the subscriber attaches
+	// before the target's first run (see TestEventStream).
+	if _, code := postCampaign(t, ts, `{"workload":"synth160k","placement":"RM","runs":30,"seed":9}`); code != http.StatusAccepted {
+		t.Fatalf("blocker submit code = %d", code)
+	}
+	sub, code := postCampaign(t, ts, `{"workload":"puwmod01","placement":"RM","runs":500,"seed":13}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit code = %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	var events []wireEvent
+	for sc.Scan() {
+		var ev wireEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+		// Stall between reads so the subscriber buffer overflows and the
+		// publisher exercises its drop path.
+		if len(events) <= 20 {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty stream")
+	}
+	last := events[len(events)-1]
+	if last.Kind != "end" || last.State != "done" {
+		t.Fatalf("slow stream did not terminate with end/done: %+v", last)
+	}
+	prev := -1
+	for _, ev := range events {
+		if ev.Kind != "run" {
+			continue
+		}
+		if ev.Done <= prev {
+			t.Fatalf("done counter regressed: %d after %d", ev.Done, prev)
+		}
+		prev = ev.Done
+	}
+}
+
+// TestEventStreamCancelClosesPromptly: cancelling an in-flight campaign
+// (server drain) terminates its event stream promptly with an "end" line
+// in state canceled, instead of leaving the subscriber hanging.
+func TestEventStreamCancelClosesPromptly(t *testing.T) {
+	s := New(Config{Workers: 1, Jobs: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sub, code := postCampaign(t, ts, `{"workload":"tblook01","placement":"RM","runs":100000,"seed":21}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit -> %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	go s.Close()
+
+	type streamEnd struct {
+		last wireEvent
+		err  error
+	}
+	endCh := make(chan streamEnd, 1)
+	go func() {
+		var last wireEvent
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+				endCh <- streamEnd{err: fmt.Errorf("bad line %q: %v", sc.Text(), err)}
+				return
+			}
+		}
+		endCh <- streamEnd{last: last, err: sc.Err()}
+	}()
+	select {
+	case end := <-endCh:
+		if end.err != nil {
+			t.Fatal(end.err)
+		}
+		if end.last.Kind != "end" || end.last.State != "canceled" {
+			t.Fatalf("cancelled stream ended with %+v, want end/canceled", end.last)
+		}
+		if end.last.Err == "" {
+			t.Fatal("cancelled end line carries no error")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("event stream did not close after cancellation")
+	}
+}
+
+// TestAccessLog checks the request-logging middleware: JSON lines with
+// method/path/status, a generated X-Request-Id echoed on the response,
+// and client-supplied IDs passed through.
+func TestAccessLog(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		fmt.Fprint(w, "ok")
+	})
+	var buf bytes.Buffer
+	ts := httptest.NewServer(AccessLog(inner, &buf, LogJSON))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/some/path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	generated := resp.Header.Get("X-Request-Id")
+	if generated == "" {
+		t.Fatal("no X-Request-Id on the response")
+	}
+	var line struct {
+		ID     string `json:"id"`
+		Method string `json:"method"`
+		Path   string `json:"path"`
+		Status int    `json:"status"`
+		Bytes  int64  `json:"bytes"`
+	}
+	if err := json.Unmarshal([]byte(strings.SplitN(buf.String(), "\n", 2)[0]), &line); err != nil {
+		t.Fatalf("access log line is not JSON: %q (%v)", buf.String(), err)
+	}
+	if line.ID != generated || line.Method != "GET" || line.Path != "/some/path" ||
+		line.Status != http.StatusTeapot || line.Bytes != 2 {
+		t.Fatalf("log line = %+v (id on wire %q)", line, generated)
+	}
+
+	// A client-supplied ID is echoed and logged verbatim.
+	buf.Reset()
+	req, _ := http.NewRequest("GET", ts.URL+"/other", nil)
+	req.Header.Set("X-Request-Id", "client-id-1")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "client-id-1" {
+		t.Fatalf("client id not echoed: %q", got)
+	}
+	if !strings.Contains(buf.String(), `"id":"client-id-1"`) {
+		t.Fatalf("client id not logged: %q", buf.String())
+	}
+
+	// Text format emits one parseable key=value line.
+	buf.Reset()
+	ts2 := httptest.NewServer(AccessLog(inner, &buf, LogText))
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if out := buf.String(); !strings.Contains(out, "method=GET") || !strings.Contains(out, "path=/t") ||
+		!strings.Contains(out, "status=418") {
+		t.Fatalf("text log line = %q", out)
+	}
+}
+
+// TestAccessLogStreamFlush: the logging and metrics wrappers must not
+// swallow http.Flusher — an NDJSON stream through the full middleware
+// stack still delivers its lines incrementally.
+func TestAccessLogStreamFlush(t *testing.T) {
+	s := New(Config{Workers: 2, Jobs: 1})
+	var buf bytes.Buffer
+	ts := httptest.NewServer(AccessLog(s.Handler(), &buf, LogText))
+	defer func() { ts.Close(); s.Close() }()
+
+	if _, code := postCampaign(t, ts, `{"workload":"synth160k","placement":"RM","runs":30,"seed":9}`); code != http.StatusAccepted {
+		t.Fatalf("blocker submit code = %d", code)
+	}
+	sub, code := postCampaign(t, ts, `{"workload":"puwmod01","placement":"RM","runs":60,"seed":3}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit code = %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// The first line must arrive while the campaign is still in flight —
+	// it can only do so if Flush passes through the wrappers.
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no first line: %v", sc.Err())
+	}
+	var ev wireEvent
+	if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+		t.Fatalf("bad first line %q: %v", sc.Text(), err)
+	}
+	if ev.Kind == "end" {
+		t.Log("stream ended before any live event; flush passthrough not exercised")
+	}
+	for sc.Scan() {
+	}
+}

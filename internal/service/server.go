@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/security"
 	"repro/internal/workload"
@@ -91,6 +92,13 @@ type Server struct {
 	seq       atomic.Uint64
 	accepting atomic.Bool
 	started   time.Time
+
+	// Observability: one registry per server, an engine collector feeding
+	// it (and the trace ring), and the service-level instruments.
+	reg         *obs.Registry
+	collector   *obs.EngineCollector
+	queueWait   *obs.Histogram
+	jobsRunning *obs.Gauge
 }
 
 // New builds the service and starts its job workers. The caller owns the
@@ -119,7 +127,20 @@ func New(cfg Config) *Server {
 			delete(s.jobs, j.ID)
 			s.jobsMu.Unlock()
 		})
-	s.eng = core.NewEngine(core.WithWorkers(cfg.Workers), core.WithEvents(s.route))
+	s.reg = obs.NewRegistry()
+	s.collector = obs.NewEngineCollector(s.reg, nil)
+	// Campaigns execute under their fingerprint as campaign name; resolve
+	// trace spans back to the submitted display label, and keep the
+	// fingerprint prefix on the span for store lookups.
+	s.collector.Resolve = func(fp string) (string, string) {
+		if v, ok := s.store.Peek(fp); ok {
+			return v.(*Job).Wire.Label(), fp
+		}
+		return "", fp
+	}
+	s.eng = core.NewEngine(core.WithWorkers(cfg.Workers), core.WithEvents(s.collector.Sink(s.route)))
+	obs.RegisterPool(s.reg, s.eng.Pool())
+	s.registerMetrics()
 	s.accepting.Store(true)
 	for i := 0; i < cfg.Jobs; i++ {
 		s.wg.Add(1)
@@ -133,6 +154,10 @@ func (s *Server) Engine() *core.Engine { return s.eng }
 
 // Store exposes the result cache (health reporting, tests).
 func (s *Server) Store() *Store { return s.store }
+
+// Registry exposes the server's metric registry, so embedders (rmserved)
+// can add their own instruments next to the service ones.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Close stops admissions, cancels in-flight campaigns via context, marks
 // the queued backlog canceled, and waits for the job workers. Safe to
@@ -175,8 +200,12 @@ func (s *Server) worker() {
 			return
 		case j := <-s.queue:
 			<-s.slots // the job left the queue; free its admission slot
-			j.start(time.Now())
+			start := time.Now()
+			s.queueWait.Observe(start.Sub(j.Submitted).Nanoseconds())
+			s.jobsRunning.Add(1)
+			j.start(start)
 			res, err := s.eng.Run(s.baseCtx, j.req)
+			s.jobsRunning.Add(-1)
 			canceled := err != nil &&
 				(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 			j.finish(res, err, canceled, time.Now())
@@ -258,16 +287,22 @@ type errUnavailable struct{ msg string }
 
 func (e errUnavailable) Error() string { return e.msg }
 
-// Handler returns the /v1 campaign API plus /healthz.
+// Handler returns the /v1 campaign API plus /healthz and the
+// observability endpoints: GET /metrics (Prometheus text format) and
+// GET /v1/traces (recent campaign trace spans). Every API route is
+// instrumented with per-route latency and request counters; /metrics
+// itself is not, so scrapes do not measure themselves.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
-	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
-	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
-	mux.HandleFunc("GET /v1/kinds", s.handleKinds)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/campaigns", s.instrument("/v1/campaigns", s.handleSubmit))
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.instrument("/v1/campaigns/{id}", s.handleStatus))
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.instrument("/v1/campaigns/{id}/events", s.handleEvents))
+	mux.HandleFunc("GET /v1/policies", s.instrument("/v1/policies", s.handlePolicies))
+	mux.HandleFunc("GET /v1/workloads", s.instrument("/v1/workloads", s.handleWorkloads))
+	mux.HandleFunc("GET /v1/kinds", s.instrument("/v1/kinds", s.handleKinds))
+	mux.HandleFunc("GET /v1/traces", s.instrument("/v1/traces", s.handleTraces))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealth))
+	mux.Handle("GET /metrics", s.reg)
 	return mux
 }
 
@@ -452,9 +487,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Workers:       s.eng.Workers(),
 		JobSlots:      s.cfg.Jobs,
-		QueueDepth:    s.cfg.QueueDepth,
-		QueueLen:      len(s.queue),
+		Queue:         queueJSON{Depth: len(s.queue), Capacity: s.cfg.QueueDepth},
 		Jobs:          jobCounts{Queued: queued, Running: running, Done: done, Failed: failed, Canceled: canceled},
 		Cache:         s.store.Stats(),
+	})
+}
+
+// handleTraces serves the most recent campaign trace spans, newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, tracesJSON{
+		Total:  s.collector.Tracer().Total(),
+		Traces: s.collector.Tracer().Recent(),
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/security"
 )
 
@@ -135,8 +136,9 @@ func statusOf(j *Job) statusResponse {
 // form of a core.Event, plus the synthetic terminal line (kind "end",
 // with the job's final state).
 type wireEvent struct {
-	Kind     string  `json:"kind"` // "started", "run", "finished", "end"
+	Kind     string  `json:"kind"` // "started", "run", "phase", "finished", "end"
 	Campaign string  `json:"campaign"`
+	Phase    string  `json:"phase,omitempty"` // "phase" lines only
 	Run      int     `json:"run,omitempty"`
 	Cycles   float64 `json:"cycles,omitempty"`
 	Done     int     `json:"done"`
@@ -149,6 +151,7 @@ func wireEventOf(ev core.Event) wireEvent {
 	out := wireEvent{
 		Kind:     ev.Kind.String(),
 		Campaign: ev.Campaign,
+		Phase:    ev.Phase,
 		Run:      ev.Run,
 		Cycles:   ev.Cycles,
 		Done:     ev.Done,
@@ -188,10 +191,22 @@ type healthJSON struct {
 	UptimeSeconds float64    `json:"uptime_seconds"`
 	Workers       int        `json:"workers"`
 	JobSlots      int        `json:"job_slots"`
-	QueueDepth    int        `json:"queue_depth"`
-	QueueLen      int        `json:"queue_len"`
+	Queue         queueJSON  `json:"queue"`
 	Jobs          jobCounts  `json:"jobs"`
 	Cache         StoreStats `json:"cache"`
+}
+
+// queueJSON reports the job queue's occupancy against its bound.
+type queueJSON struct {
+	Depth    int `json:"depth"`
+	Capacity int `json:"capacity"`
+}
+
+// tracesJSON answers GET /v1/traces: the retained campaign trace spans
+// (newest first) and how many were ever recorded.
+type tracesJSON struct {
+	Total  uint64              `json:"total"`
+	Traces []obs.CampaignTrace `json:"traces"`
 }
 
 // jobCounts breaks the resident jobs down by state.

@@ -1,0 +1,86 @@
+#!/bin/sh
+# Observability smoke: start rmserved (JSON access logs), run one campaign
+# to completion, then assert GET /metrics serves Prometheus text format
+# with nonzero campaign, store and HTTP series, /v1/traces holds the
+# campaign's span, and responses carry an X-Request-Id header.
+set -eu
+
+log=$(mktemp)
+bin=$(mktemp)
+go build -o "$bin" ./cmd/rmserved
+"$bin" -addr 127.0.0.1:0 -workers 2 -log json >"$log" 2>&1 &
+srv=$!
+trap 'kill "$srv" 2>/dev/null || true; rm -f "$log" "$bin"' EXIT
+
+base=""
+i=0
+while [ $i -lt 100 ]; do
+  base=$(sed -n 's/.*listening on \(http:\/\/[0-9.:]*\).*/\1/p' "$log" | head -n 1)
+  if [ -n "$base" ] && curl -fsS "$base/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  base=""
+  sleep 0.2
+  i=$((i + 1))
+done
+if [ -z "$base" ]; then
+  echo "rmserved did not come up:" >&2
+  cat "$log" >&2
+  exit 1
+fi
+echo "rmserved up at $base"
+
+req='{"workload":"puwmod01","placement":"RM","runs":60,"seed":5}'
+r1=$(curl -fsS -X POST -d "$req" "$base/v1/campaigns")
+id=$(printf '%s' "$r1" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$id" ] || { echo "bad submit response: $r1" >&2; exit 1; }
+
+state=""
+i=0
+while [ $i -lt 300 ]; do
+  state=$(curl -fsS "$base/v1/campaigns/$id" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -n 1)
+  [ "$state" = "done" ] && break
+  if [ "$state" = "failed" ] || [ "$state" = "canceled" ]; then
+    echo "campaign ended in state $state" >&2
+    exit 1
+  fi
+  sleep 0.2
+  i=$((i + 1))
+done
+[ "$state" = "done" ] || { echo "campaign did not finish (state=$state)" >&2; exit 1; }
+echo "campaign done"
+
+# The X-Request-Id header is present on every response.
+reqid=$(curl -fsSD - -o /dev/null "$base/healthz" | tr -d '\r' | sed -n 's/^[Xx]-[Rr]equest-[Ii]d: *//p')
+[ -n "$reqid" ] || { echo "no X-Request-Id header on /healthz" >&2; exit 1; }
+echo "request id: $reqid"
+
+# /metrics: Prometheus text format with the nonzero series the campaign
+# must have produced.
+metrics=$(curl -fsS "$base/metrics")
+want() {
+  printf '%s\n' "$metrics" | grep -q "$1" || { echo "metrics missing: $1" >&2; printf '%s\n' "$metrics" >&2; exit 1; }
+}
+want '^# TYPE rm_campaign_latency_seconds histogram$'
+want '^rm_campaign_latency_seconds_count{kind="mbpta"} 1$'
+want '^rm_runs_total{kind="mbpta"} 60$'
+want '^rm_campaigns_total{kind="mbpta",status="ok"} 1$'
+want '^rm_store_misses_total 1$'
+want '^rm_queue_wait_seconds_count 1$'
+want '^rm_http_requests_total{route="/v1/campaigns",status="202"} 1$'
+want '^rm_pool_acquires_total [1-9]'
+echo "metrics series verified"
+
+# /v1/traces: one span for the finished campaign with a timed replay phase.
+traces=$(curl -fsS "$base/v1/traces")
+printf '%s' "$traces" | grep -q '"kind": *"mbpta"' || { echo "no mbpta trace span: $traces" >&2; exit 1; }
+printf '%s' "$traces" | grep -q '"replay_seconds":' || { echo "trace span has no replay phase: $traces" >&2; exit 1; }
+echo "trace span verified"
+
+# The JSON access log recorded the submission.
+grep -q '"path":"/v1/campaigns"' "$log" || { echo "no access-log line for the submission" >&2; cat "$log" >&2; exit 1; }
+echo "access log verified"
+
+kill "$srv"
+wait "$srv" 2>/dev/null || true
+echo "metrics smoke OK"
