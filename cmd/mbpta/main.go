@@ -8,12 +8,15 @@
 //
 //	mbpta -in times.txt [-block 20] [-cutoff 1e-15]
 //	mbpta -workload tblook01 [-placement RM] [-runs 300] [-workers N] [-seed N]
+//	mbpta -trace capture.lackey [-placement RM] [-runs 300]
 //
 // The input can come from rmsim -times, or from any external measurement
 // source; this tool is the software analogue of the analysis half of the
 // paper's toolchain. With -workload instead of -in, mbpta collects the
 // measurements itself on the Engine (cancellable with Ctrl-C) before
-// analyzing them.
+// analyzing them. With -trace, the measured program is a valgrind lackey
+// capture (valgrind --tool=lackey --trace-mem=yes) replayed through the
+// simulated randomized caches.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -31,12 +35,14 @@ import (
 	"repro/internal/evt"
 	"repro/internal/iid"
 	"repro/internal/placement"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 func main() {
 	in := flag.String("in", "", "input file: one execution time per line")
 	wname := flag.String("workload", "", "collect measurements from this workload instead of -in")
+	tracePath := flag.String("trace", "", "collect measurements by replaying a valgrind lackey capture")
 	pname := flag.String("placement", "RM", "L1 placement for -workload campaigns (Modulo, XORFold, hRP, RM, RM-rot)")
 	runs := flag.Int("runs", 300, "campaign size for -workload")
 	workers := flag.Int("workers", 0, "engine pool size for -workload (0 = GOMAXPROCS)")
@@ -45,19 +51,39 @@ func main() {
 	cutoff := flag.Float64("cutoff", 1e-15, "per-run exceedance probability for the pWCET estimate")
 	flag.Parse()
 
-	if (*in == "") == (*wname == "") {
-		fmt.Fprintln(os.Stderr, "mbpta: exactly one of -in or -workload is required")
+	sources := 0
+	for _, s := range []string{*in, *wname, *tracePath} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		fmt.Fprintln(os.Stderr, "mbpta: exactly one of -in, -workload or -trace is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 	var times []float64
 	var err error
-	if *in != "" {
+	switch {
+	case *in != "":
 		times, err = readTimes(*in)
 		if err != nil {
 			fatal(err)
 		}
-	} else {
+	case *tracePath != "":
+		kind, kerr := placement.ParseKind(*pname)
+		if kerr != nil {
+			usageFatal(kerr)
+		}
+		w, lerr := loadLackeyWorkload(*tracePath)
+		if lerr != nil {
+			fatal(lerr)
+		}
+		times, err = measure(w, kind, *runs, *workers, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	default:
 		w, kind, rerr := core.ResolveNames(*wname, *pname)
 		if rerr != nil {
 			usageFatal(rerr)
@@ -116,6 +142,22 @@ func measure(w workload.Workload, kind placement.Kind, runs, workers int, seed u
 		return nil, err
 	}
 	return res.Times, nil
+}
+
+// loadLackeyWorkload parses a valgrind lackey capture and wraps it as a
+// fixed-trace workload named after the file.
+func loadLackeyWorkload(path string) (workload.Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return workload.Workload{}, err
+	}
+	defer f.Close()
+	tr, err := trace.ParseLackey(f)
+	if err != nil {
+		return workload.Workload{}, fmt.Errorf("%s: %w", path, err)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return workload.FromTrace(name, "valgrind lackey capture", tr), nil
 }
 
 func readTimes(path string) ([]float64, error) {

@@ -13,6 +13,11 @@
 // L2 follows the paper's setup (hRP with random replacement) unless
 // -placement Modulo is chosen, which selects the fully deterministic
 // modulo+LRU platform.
+//
+// Instead of a built-in workload, -trace replays a valgrind lackey
+// capture (valgrind --tool=lackey --trace-mem=yes) through the simulated
+// memory hierarchy; the capture's addresses are replayed verbatim, so
+// run-to-run variation comes from the randomized caches alone.
 package main
 
 import (
@@ -21,11 +26,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/placement"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -36,6 +44,7 @@ func main() {
 	workers := flag.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS; any value yields identical times)")
 	seed := flag.Uint64("seed", experimentsSeed, "master seed")
 	timesOut := flag.String("times", "", "write raw per-run cycle counts to this file")
+	tracePath := flag.String("trace", "", "replay a valgrind lackey capture instead of a built-in workload")
 	list := flag.Bool("list", false, "list available workloads and exit")
 	flag.Parse()
 
@@ -46,9 +55,23 @@ func main() {
 		return
 	}
 
-	w, kind, err := core.ResolveNames(*wname, *pname)
-	if err != nil {
-		usageFatal(err)
+	var w workload.Workload
+	var kind placement.Kind
+	var err error
+	if *tracePath != "" {
+		kind, err = placement.ParseKind(*pname)
+		if err != nil {
+			usageFatal(err)
+		}
+		w, err = loadLackeyWorkload(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		w, kind, err = core.ResolveNames(*wname, *pname)
+		if err != nil {
+			usageFatal(err)
+		}
 	}
 
 	spec := core.PlatformFor(kind)
@@ -95,6 +118,22 @@ func main() {
 }
 
 const experimentsSeed = 0x9A9E6
+
+// loadLackeyWorkload parses a valgrind lackey capture and wraps it as a
+// fixed-trace workload named after the file.
+func loadLackeyWorkload(path string) (workload.Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return workload.Workload{}, err
+	}
+	defer f.Close()
+	tr, err := trace.ParseLackey(f)
+	if err != nil {
+		return workload.Workload{}, fmt.Errorf("%s: %w", path, err)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return workload.FromTrace(name, "valgrind lackey capture", tr), nil
+}
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "rmsim:", err)

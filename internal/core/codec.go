@@ -51,6 +51,12 @@ type WireRequest struct {
 	// occupancy protocol's victim; empty selects the synthetic victim).
 	// Baseline and Analyze do not combine with it.
 	Security *WireSecurity `json:"security,omitempty"`
+	// KeepTimes controls whether the result retains the per-run times
+	// vector. Unset or true keeps it (the historical behaviour); false
+	// drops it, leaving aggregates to the streaming summary — the choice
+	// for very large campaigns. It enters the fingerprint only when false,
+	// since a dropped-times result cannot serve a keep-times cache hit.
+	KeepTimes *bool `json:"keep_times,omitempty"`
 }
 
 // WireSecurity is the JSON form of a security.Spec (minus the placement,
@@ -189,6 +195,11 @@ func (w WireRequest) Normalize() (WireRequest, error) {
 		return WireRequest{}, errors.New("core: request needs at least one run")
 	}
 	w.Placement = kind.String()
+	// Explicit keep_times=true is the default spelled out: canonicalize to
+	// unset so both spellings share a fingerprint.
+	if w.KeepTimes != nil && *w.KeepTimes {
+		w.KeepTimes = nil
+	}
 	return w, nil
 }
 
@@ -223,6 +234,9 @@ func (w WireRequest) Request() (Request, error) {
 	if n.Layout != nil {
 		l := n.Layout.Layout()
 		req.Layout = &l
+	}
+	if n.KeepTimes != nil && !*n.KeepTimes {
+		req.KeepTimes = TimesDrop
 	}
 	return req, nil
 }
@@ -277,6 +291,11 @@ func (w WireRequest) Fingerprint() (string, error) {
 		fmt.Fprintf(&b, "|security=%s,%s,%d,%d,%d,%d",
 			n.Security.Protocol, n.Security.Replacement, n.Security.ProbeLines,
 			n.Security.ProbeStride, n.Security.Trials, n.Security.VictimLines)
+	}
+	// Appended only when set, so every pre-existing fingerprint is
+	// unchanged (Normalize canonicalized keep_times=true to unset above).
+	if n.KeepTimes != nil && !*n.KeepTimes {
+		b.WriteString("|keeptimes=false")
 	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return fmt.Sprintf("%x", sum[:16]), nil

@@ -230,3 +230,55 @@ func TestWireRequestLabel(t *testing.T) {
 		t.Fatalf("Label() = %q, want custom", got)
 	}
 }
+
+// TestWireKeepTimes: the keep_times knob decodes, resolves to the
+// TimesMode enum, and enters the fingerprint only when false — so every
+// pre-existing fingerprint is unchanged and an explicit true is the same
+// content as unset.
+func TestWireKeepTimes(t *testing.T) {
+	base := WireRequest{Placement: "RM", Workload: "tblook01", Runs: 100, Seed: 1}
+	fp, err := base.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tru, fls := true, false
+	explicit := base
+	explicit.KeepTimes = &tru
+	if got, err := explicit.Fingerprint(); err != nil || got != fp {
+		t.Fatalf("keep_times=true fingerprint %s (err %v), want %s (same as unset)", got, err, fp)
+	}
+	dropped := base
+	dropped.KeepTimes = &fls
+	got, err := dropped.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == fp {
+		t.Fatal("keep_times=false shares a fingerprint with keep — drop results would serve keep cache hits")
+	}
+
+	w, err := DecodeWireRequest(strings.NewReader(
+		`{"placement":"rm","workload":"tblook01","runs":10,"seed":3,"keep_times":false}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := w.Request()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.KeepTimes != TimesDrop {
+		t.Fatalf("keep_times=false resolved to %v, want TimesDrop", req.KeepTimes)
+	}
+	if req2, err := base.Request(); err != nil || req2.KeepTimes != TimesKeep {
+		t.Fatalf("unset keep_times resolved to %v (err %v), want TimesKeep", req2.KeepTimes, err)
+	}
+
+	n, err := explicit.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.KeepTimes != nil {
+		t.Fatal("Normalize kept an explicit keep_times=true instead of canonicalizing to unset")
+	}
+}

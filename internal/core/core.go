@@ -148,7 +148,14 @@ type Campaign struct {
 
 // CampaignResult holds the collected measurements.
 type CampaignResult struct {
-	Times []float64 // execution time of each run, in cycles
+	// Times is the execution time of each run, in cycles. With
+	// Request.KeepTimes = TimesDrop it is nil: the Summary accumulators
+	// below carry the campaign's aggregates in O(1) memory instead.
+	Times []float64
+	// Summary holds the streaming aggregates of the measurement vector
+	// (count, sum, extremes, quantile sketch); populated by the engine for
+	// every campaign regardless of KeepTimes.
+	Summary Summary
 	// Levels holds the exact per-level cache counters summed over the
 	// whole campaign (deterministic for any worker count).
 	Levels LevelStats
@@ -162,11 +169,24 @@ type CampaignResult struct {
 	}
 }
 
-// HWM returns the campaign's high-water mark.
-func (r CampaignResult) HWM() float64 { return stats.Max(r.Times) }
+// HWM returns the campaign's high-water mark. It prefers the streaming
+// Summary (exact, available even when Times was dropped) and falls back to
+// the buffered vector for results constructed by hand.
+func (r CampaignResult) HWM() float64 {
+	if r.Summary.Moments.N > 0 {
+		return r.Summary.Moments.Max
+	}
+	return stats.Max(r.Times)
+}
 
-// Mean returns the campaign's mean execution time.
-func (r CampaignResult) Mean() float64 { return stats.Mean(r.Times) }
+// Mean returns the campaign's mean execution time (exact from the
+// streaming Summary; see HWM for the fallback rule).
+func (r CampaignResult) Mean() float64 {
+	if r.Summary.Moments.N > 0 {
+		return r.Summary.Moments.Mean()
+	}
+	return stats.Mean(r.Times)
+}
 
 // Request converts the campaign into an Engine Request, the migration
 // path from the legacy blocking API: eng.Run(ctx, c.Request()).
@@ -291,33 +311,20 @@ const (
 // sub-cycle dither as a continuity correction (the runs test in
 // particular breaks down when most observations tie the median); the EVT
 // fit uses the raw times.
+//
+// Analyze is the buffered reference pipeline: the engine computes the same
+// analysis from streaming accumulators without retaining the vector, and
+// differential tests pin the two paths bit-identical. Times containing
+// NaN, infinite or negative values are rejected with a typed
+// *evt.InvalidTimeError (unwrappable via errors.As) before any statistics
+// run.
 func Analyze(times []float64) (Analysis, error) {
-	var a Analysis
-	dithered := ditherTies(times)
-	ww, err := iid.WaldWolfowitz(dithered)
-	if err != nil {
-		return a, fmt.Errorf("core: WW test: %w", err)
+	if err := evt.ValidateTimes(times); err != nil {
+		return Analysis{}, fmt.Errorf("core: invalid measurement: %w", err)
 	}
-	ks, err := iid.KSSplit(dithered)
-	if err != nil {
-		return a, fmt.Errorf("core: KS test: %w", err)
-	}
-	model, err := evt.Analyze(times, 0)
-	if err != nil {
-		return a, fmt.Errorf("core: EVT fit: %w", err)
-	}
-	// ET examines the extreme tail under the peaks-over-threshold protocol:
-	// search the threshold grid for an acceptable exponential tail, which
-	// EVT guarantees exists when block maxima converge to a Gumbel law.
-	et, err := iid.ETTestSearch(dithered, nil)
-	if err != nil {
-		return a, fmt.Errorf("core: ET test: %w", err)
-	}
-	a.WW, a.KS, a.ET, a.Model = ww, ks, et, model
-	a.PWCET15 = model.AtExceedance(CutoffHigh)
-	a.PWCET12 = model.AtExceedance(CutoffLow)
-	a.IIDPass = ww.Pass && ks.Pass
-	return a, nil
+	block := evt.BlockFor(len(times))
+	maxima, merr := evt.BlockMaxima(times, block)
+	return analyzeParts(iidWindow(times), maxima, merr, block, len(times))
 }
 
 // ditherTies adds a deterministic sub-cycle perturbation to break the ties

@@ -45,7 +45,26 @@ type Request struct {
 	// the occupancy protocol's victim (empty selects the synthetic
 	// victim); Baseline and Analyze do not apply and are rejected.
 	Security *security.Spec
+	// KeepTimes controls whether Result.Times retains the per-run
+	// measurement vector. The zero value keeps it (full back-compat);
+	// TimesDrop leaves Times nil so a campaign's steady-state memory is
+	// independent of its run count — Summary, the analysis and the miss
+	// ratios are unaffected (they come from streaming accumulators either
+	// way).
+	KeepTimes TimesMode
 }
+
+// TimesMode selects the fate of the per-run measurement vector. It is an
+// enum rather than a bool so the zero-value Request keeps today's
+// buffered behaviour.
+type TimesMode int
+
+const (
+	// TimesKeep retains Result.Times (the default).
+	TimesKeep TimesMode = iota
+	// TimesDrop discards per-run times; aggregates live in Result.Summary.
+	TimesDrop
+)
 
 // Kind discriminates the campaign families a Request can select.
 type Kind int
@@ -141,6 +160,11 @@ const (
 	// not apply to a campaign kind simply never fire (baseline campaigns
 	// rebuild their trace per run, security campaigns never analyze).
 	PhaseDone
+	// SnapshotTaken fires each time the streaming accumulators advance
+	// over a longer contiguous run prefix; Event.Snapshot carries the
+	// converging statistics (timing campaigns only). Snapshots arrive in
+	// increasing Runs order, at most one per completed chunk.
+	SnapshotTaken
 )
 
 // String names the kind for logs.
@@ -154,6 +178,8 @@ func (k EventKind) String() string {
 		return "finished"
 	case PhaseDone:
 		return "phase"
+	case SnapshotTaken:
+		return "snapshot"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -179,9 +205,10 @@ type Event struct {
 	Index        int    // position of the request in its batch (0 for Run)
 	Run          int    // completed run index (RunCompleted only)
 	Cycles       float64
-	Done         int   // completed runs so far, campaign-local
-	Total        int   // Request.Runs
-	Err          error // CampaignFinished only; nil on success
+	Done         int       // completed runs so far, campaign-local
+	Total        int       // Request.Runs
+	Snapshot     *Snapshot // converging statistics (SnapshotTaken only)
+	Err          error     // CampaignFinished only; nil on success
 }
 
 // Runner executes campaign Requests over a shared Pool of simulation
@@ -331,7 +358,20 @@ func (r *Runner) run(ctx context.Context, index int, req Request) (Result, error
 		}
 	}
 
-	times := make([]float64, req.Runs)
+	// All aggregates stream through the campaign accumulator; the buffered
+	// vector is only allocated when the caller wants it back.
+	acc := newCampaignAccum(req.Runs)
+	if r.Events != nil {
+		acc.onProgress = func(s Snapshot) {
+			snap := s
+			r.emit(Event{Kind: SnapshotTaken, Campaign: res.Name, CampaignKind: kind, Index: index,
+				Snapshot: &snap, Done: s.Runs, Total: req.Runs})
+		}
+	}
+	var times []float64
+	if req.KeepTimes == TimesKeep {
+		times = make([]float64, req.Runs)
+	}
 	onRun := func(run int, sr sim.Result) {
 		// The increment and the delivery share the mutex so the Done
 		// counter in the event stream is strictly monotone.
@@ -348,8 +388,9 @@ func (r *Runner) run(ctx context.Context, index int, req Request) (Result, error
 		r.evmu.Unlock()
 	}
 
-	totals, err := runShards(ctx, r.pool(), req.Spec, req.Runs, times, do, onRun)
+	totals, err := runShards(ctx, r.pool(), req.Spec, req.Runs, times, acc, do, onRun)
 	res.Times = times
+	res.Summary = acc.summary()
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			err = fmt.Errorf("core: campaign %s aborted after %d/%d runs: %w",
@@ -364,7 +405,10 @@ func (r *Runner) run(ctx context.Context, index int, req Request) (Result, error
 	phase(PhaseReplay)
 
 	if req.Analyze {
-		an, err := Analyze(res.Times)
+		// The analysis comes from the streaming accumulators — bit-identical
+		// to the buffered Analyze(res.Times), which stays as the reference
+		// oracle in the differential tests.
+		an, err := acc.analysis()
 		if err != nil {
 			return finish(err)
 		}

@@ -222,17 +222,21 @@ func ShardChunksPool[T any](ctx context.Context, pool *Pool, runs int, build fun
 
 // runShards shards a single-core campaign over a Pool: each worker builds
 // its own platform from spec, do performs one run on it, per-run cycle
-// counts land in times[run], and the per-level counters are summed into
-// the returned LevelStats (integer sums are order-independent, so the
-// aggregate is as schedule-proof as the measurement vector). Counters
-// accumulate chunk-locally and merge under the mutex once per chunk, so
-// the per-run cost of the sweep is the run itself. onRun, if non-nil,
+// counts stream into a chunk-local accumulator (and into times[run] when
+// the caller keeps the buffered vector — times may be nil), and the
+// per-level counters are summed into the returned LevelStats (integer
+// sums are order-independent, so the aggregate is as schedule-proof as
+// the measurement vector). Counters and statistics accumulate
+// chunk-locally and merge once per chunk — the statistics through acc's
+// run-index-ordered frontier, the counters under the mutex — so the
+// per-run cost of the sweep is the run itself. onRun, if non-nil,
 // observes every completed run (called from worker goroutines).
-func runShards(ctx context.Context, pool *Pool, spec PlatformSpec, runs int, times []float64, do func(p *sim.Core, run int) (sim.Result, error), onRun func(run int, r sim.Result)) (LevelStats, error) {
+func runShards(ctx context.Context, pool *Pool, spec PlatformSpec, runs int, times []float64, acc *campaignAccum, do func(p *sim.Core, run int) (sim.Result, error), onRun func(run int, r sim.Result)) (LevelStats, error) {
 	var mu sync.Mutex
 	var agg LevelStats
 	err := ShardChunksPool(ctx, pool, runs, spec.Build, func(p *sim.Core, lo, hi int) error {
 		var local LevelStats
+		ca := acc.newChunk(lo, hi)
 		for run := lo; run < hi; run++ {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -241,12 +245,20 @@ func runShards(ctx context.Context, pool *Pool, spec PlatformSpec, runs int, tim
 			if err != nil {
 				return err
 			}
-			times[run] = float64(r.Cycles)
+			x := float64(r.Cycles)
+			if times != nil {
+				times[run] = x
+			}
+			if run < len(acc.window) {
+				acc.window[run] = x
+			}
+			ca.add(run, x)
 			local.add(r)
 			if onRun != nil {
 				onRun(run, r)
 			}
 		}
+		acc.commit(ca)
 		mu.Lock()
 		agg.IL1 = addStats(agg.IL1, local.IL1)
 		agg.DL1 = addStats(agg.DL1, local.DL1)

@@ -88,13 +88,21 @@ func (r *Runner) runSecurity(ctx context.Context, index int, req Request, res *R
 			}
 			return nil
 		})
-	res.Times = times
+	// Security campaigns buffer per-round outputs regardless (Aggregate
+	// consumes them), so KeepTimes only controls what the Result exposes.
+	if req.KeepTimes == TimesKeep {
+		res.Times = times
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			err = fmt.Errorf("core: campaign %s aborted after %d/%d rounds: %w",
 				res.Name, done.Load(), req.Runs, err)
 		}
 		return finish(err)
+	}
+	for _, x := range times {
+		res.Summary.Moments.Add(x)
+		res.Summary.Sketch.Add(x)
 	}
 	r.emit(Event{Kind: PhaseDone, Campaign: res.Name, CampaignKind: KindSecurity, Index: index,
 		Phase: PhaseReplay, Done: int(done.Load()), Total: req.Runs})

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/evt"
+	"repro/internal/iid"
+	"repro/internal/stats"
+)
+
+// Summary is the streaming aggregate of a campaign's measurement vector:
+// what every campaign retains even when Request.KeepTimes drops the
+// per-run times. Count, Sum, extremes and the sketch's bucket counts are
+// exact and identical for any worker count (cycle counts are integral, so
+// the float64 Sum is exact below 2^53 and grouping-independent); the
+// variance estimator inside Moments is numerically stable but its last
+// ulps may depend on chunk boundaries, so it is excluded from the
+// bit-identity contract.
+type Summary struct {
+	Moments stats.Moments
+	Sketch  stats.QuantileSketch
+}
+
+// Snapshot is a deterministic mid-campaign view of the streaming
+// accumulators, emitted on the event stream (SnapshotTaken) each time the
+// merged contiguous run prefix advances and served by the campaign
+// service while a campaign is in flight. Its content is a pure function
+// of the first Runs measurements: two snapshots covering the same prefix
+// are identical regardless of worker count or chunk scheduling (only
+// *which* prefixes get snapshotted depends on chunking).
+type Snapshot struct {
+	Runs  int // contiguous completed-run prefix the snapshot covers
+	Total int // campaign size (Request.Runs)
+
+	// Exact aggregates of the covered prefix.
+	Mean float64
+	Min  float64
+	Max  float64
+
+	// Deterministic sketch quantile estimates of the covered prefix.
+	P50 float64
+	P95 float64
+	P99 float64
+
+	// Converging pWCET estimates fitted on the complete blocks within the
+	// prefix (zero until the prefix affords enough maxima for a fit).
+	Blocks  int
+	PWCET12 float64
+	PWCET15 float64
+
+	// AccumBytes is the resident accumulator footprint — the O(1)-in-runs
+	// steady-state memory claim, observable via rm_accumulator_peak_bytes.
+	AccumBytes int
+}
+
+// campaignAccum is the streaming statistics state of one campaign: the
+// central accumulators plus the frontier machinery that merges per-chunk
+// accumulators in canonical run-index order. Chunks are claimed
+// dynamically (ShardChunksPool), so they complete out of order; commit
+// parks each one until the contiguous prefix reaches it, which makes the
+// merge sequence — and every merged aggregate — independent of scheduling.
+type campaignAccum struct {
+	total int
+	block int // evt.BlockFor(total)
+	// window buffers the first min(total, iid.Window) measurements for the
+	// sequence-based admissibility tests (see iid.Window). Workers write
+	// disjoint run-indexed slots, so it needs no lock.
+	window []float64
+
+	mu       sync.Mutex
+	moments  stats.Moments
+	sketch   stats.QuantileSketch
+	maxima   *stats.BlockMax // central per-block maxima, blocks [0, total/block)
+	pending  map[int]*chunkAccum
+	frontier int // runs [0, frontier) are merged
+	badRun   int // lowest invalid-measurement run index (-1: none)
+	badVal   float64
+	// onProgress, if set, observes a Snapshot after every frontier
+	// advance, under the accumulator lock (snapshots are delivered in
+	// increasing Runs order).
+	onProgress func(Snapshot)
+}
+
+func newCampaignAccum(total int) *campaignAccum {
+	block := evt.BlockFor(total)
+	w := total
+	if w > iid.Window {
+		w = iid.Window
+	}
+	return &campaignAccum{
+		total:   total,
+		block:   block,
+		window:  make([]float64, w),
+		maxima:  stats.NewBlockMax(block, 0, total/block),
+		pending: make(map[int]*chunkAccum),
+		badRun:  -1,
+	}
+}
+
+// chunkAccum accumulates one claimed chunk of runs [lo, hi) privately (no
+// locks on the per-run path); commit merges it centrally once the chunk
+// completes.
+type chunkAccum struct {
+	lo, hi  int
+	moments stats.Moments
+	sketch  stats.QuantileSketch
+	maxima  *stats.BlockMax // blocks intersecting [lo, hi)
+	badRun  int
+	badVal  float64
+}
+
+// newChunk returns a private accumulator for runs [lo, hi).
+func (a *campaignAccum) newChunk(lo, hi int) *chunkAccum {
+	return &chunkAccum{
+		lo: lo, hi: hi,
+		maxima: stats.NewBlockMax(a.block, lo/a.block, (hi-1)/a.block+1),
+		badRun: -1,
+	}
+}
+
+// add accumulates one run's execution time. This is the streaming hot
+// path: every run of every campaign passes through it, so it must stay
+// allocation-free.
+//
+//rm:hotpath
+func (c *chunkAccum) add(run int, x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+		if c.badRun < 0 || run < c.badRun {
+			c.badRun, c.badVal = run, x
+		}
+	}
+	c.moments.Add(x)
+	c.sketch.Add(x)
+	c.maxima.Add(run, x)
+}
+
+// mergeChunk folds one completed chunk into the central accumulators.
+// Chunks arrive here in run-index order (the commit frontier guarantees
+// it), so the merged aggregates are identical for any worker count.
+//
+//rm:hotpath
+func (a *campaignAccum) mergeChunk(c *chunkAccum) {
+	a.moments.Merge(&c.moments)
+	a.sketch.Merge(&c.sketch)
+	a.maxima.Merge(c.maxima)
+	if c.badRun >= 0 && (a.badRun < 0 || c.badRun < a.badRun) {
+		a.badRun, a.badVal = c.badRun, c.badVal
+	}
+}
+
+// commit hands a completed chunk to the central merger: chunks merge
+// strictly in run-index order, out-of-order arrivals park in pending
+// (bounded by the chunk count, a few per worker). Each frontier advance
+// produces one Snapshot for the progress observer.
+func (a *campaignAccum) commit(c *chunkAccum) {
+	a.mu.Lock()
+	a.pending[c.lo] = c
+	advanced := false
+	for {
+		n, ok := a.pending[a.frontier]
+		if !ok {
+			break
+		}
+		delete(a.pending, a.frontier)
+		a.mergeChunk(n)
+		a.frontier = n.hi
+		advanced = true
+	}
+	if advanced && a.onProgress != nil {
+		a.onProgress(a.snapshotLocked())
+	}
+	a.mu.Unlock()
+}
+
+// snapshotLocked builds the deterministic view of the merged prefix.
+// Called with mu held; the pWCET fit runs at most once per chunk merge,
+// far off the per-run path.
+func (a *campaignAccum) snapshotLocked() Snapshot {
+	s := Snapshot{
+		Runs:       a.frontier,
+		Total:      a.total,
+		AccumBytes: a.footprintLocked(),
+	}
+	if a.moments.N > 0 {
+		s.Mean = a.moments.Mean()
+		s.Min = a.moments.Min
+		s.Max = a.moments.Max
+		s.P50 = a.sketch.Quantile(0.50)
+		s.P95 = a.sketch.Quantile(0.95)
+		s.P99 = a.sketch.Quantile(0.99)
+	}
+	nb := a.frontier / a.block
+	if nb > len(a.maxima.Max) {
+		nb = len(a.maxima.Max)
+	}
+	if nb >= 2 {
+		if model, err := evt.AnalyzeMaxima(a.maxima.Max[:nb], a.block, a.frontier); err == nil {
+			s.Blocks = nb
+			s.PWCET12 = model.AtExceedance(CutoffLow)
+			s.PWCET15 = model.AtExceedance(CutoffHigh)
+		}
+	}
+	return s
+}
+
+// footprintLocked estimates the resident accumulator bytes: the IID
+// window, the central block maxima, and one sketch-sized accumulator per
+// parked chunk plus the central one. O(iid.Window + total/block +
+// workers), independent of the run count beyond the maxima vector.
+func (a *campaignAccum) footprintLocked() int {
+	return 8*(len(a.window)+len(a.maxima.Max)) + a.sketch.Footprint()*(1+len(a.pending))
+}
+
+// summary returns the merged aggregates (the frontier prefix; the whole
+// campaign once it completed).
+func (a *campaignAccum) summary() Summary {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Summary{Moments: a.moments, Sketch: a.sketch}
+}
+
+// analysis computes the campaign's MBPTA analysis from the streaming
+// accumulators. For a completed campaign it is bit-identical to the
+// buffered Analyze(times) — the admissibility tests read the same
+// iid.Window prefix and the EVT fit the same exact block maxima — which
+// the differential tests pin across campaign kinds and worker counts.
+func (a *campaignAccum) analysis() (Analysis, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.badRun >= 0 {
+		return Analysis{}, fmt.Errorf("core: invalid measurement: %w", &evt.InvalidTimeError{Index: a.badRun, Value: a.badVal})
+	}
+	var merr error
+	if len(a.maxima.Max) < 2 {
+		merr = evt.ErrBadSample
+	}
+	return analyzeParts(a.window, a.maxima.Max, merr, a.block, a.total)
+}
+
+// iidWindow returns the measurement prefix the admissibility tests run on
+// (the whole vector for campaigns within iid.Window).
+func iidWindow(times []float64) []float64 {
+	if len(times) > iid.Window {
+		return times[:iid.Window]
+	}
+	return times
+}
+
+// analyzeParts is the shared back half of the MBPTA pipeline: the
+// buffered Analyze and the streaming accumulator path both land here with
+// the same inputs (admissibility window, exact block maxima), which is
+// what makes their outputs bit-identical. merr defers a block-maxima
+// reduction failure to the EVT stage so both paths report errors in the
+// same pipeline order (WW, KS, EVT, ET).
+func analyzeParts(win, maxima []float64, merr error, block, runs int) (Analysis, error) {
+	var a Analysis
+	dithered := ditherTies(win)
+	ww, err := iid.WaldWolfowitz(dithered)
+	if err != nil {
+		return a, fmt.Errorf("core: WW test: %w", err)
+	}
+	ks, err := iid.KSSplit(dithered)
+	if err != nil {
+		return a, fmt.Errorf("core: KS test: %w", err)
+	}
+	if merr != nil {
+		return a, fmt.Errorf("core: EVT fit: %w", merr)
+	}
+	model, err := evt.AnalyzeMaxima(maxima, block, runs)
+	if err != nil {
+		return a, fmt.Errorf("core: EVT fit: %w", err)
+	}
+	// ET examines the extreme tail under the peaks-over-threshold protocol:
+	// search the threshold grid for an acceptable exponential tail, which
+	// EVT guarantees exists when block maxima converge to a Gumbel law.
+	et, err := iid.ETTestSearch(dithered, nil)
+	if err != nil {
+		return a, fmt.Errorf("core: ET test: %w", err)
+	}
+	a.WW, a.KS, a.ET, a.Model = ww, ks, et, model
+	a.PWCET15 = model.AtExceedance(CutoffHigh)
+	a.PWCET12 = model.AtExceedance(CutoffLow)
+	a.IIDPass = ww.Pass && ks.Pass
+	return a, nil
+}

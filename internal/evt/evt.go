@@ -7,6 +7,7 @@ package evt
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/prng"
@@ -73,6 +74,31 @@ func (g Gumbel) Sample(rng *prng.PRNG) float64 {
 
 // ErrBadSample reports an unusable input sample.
 var ErrBadSample = errors.New("evt: unusable sample")
+
+// InvalidTimeError reports a measurement that can never be a valid
+// execution time — NaN, an infinity, or a negative value. Feeding such a
+// value into the Gumbel fit would silently poison every downstream pWCET
+// estimate, so Analyze rejects the sample with this typed error instead.
+type InvalidTimeError struct {
+	Index int     // position of the offending measurement
+	Value float64 // the offending value
+}
+
+func (e *InvalidTimeError) Error() string {
+	return fmt.Sprintf("evt: invalid execution time at index %d: %v (times must be finite and non-negative)", e.Index, e.Value)
+}
+
+// ValidateTimes scans a measurement vector for NaN, infinite or negative
+// values and returns an *InvalidTimeError for the first (lowest-index)
+// offender, or nil when every value is a plausible execution time.
+func ValidateTimes(xs []float64) error {
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+			return &InvalidTimeError{Index: i, Value: x}
+		}
+	}
+	return nil
+}
 
 // FitPWM fits a Gumbel distribution by probability-weighted moments
 // (Hosking's unbiased estimators), the robust default of the MBPTA
@@ -177,29 +203,59 @@ type PWCET struct {
 // paper's 1000-run campaigns it leaves 50 maxima for the fit.
 const DefaultBlock = 20
 
+// BlockFor returns the adaptive block size Analyze uses for an n-run
+// campaign: DefaultBlock when the campaign affords at least ten maxima,
+// smaller otherwise (never below 2), so reduced-scale campaigns remain
+// analyzable. It is a pure function of the total run count, which lets
+// streaming consumers size their block-maxima accumulators before the
+// first measurement arrives.
+func BlockFor(n int) int {
+	block := DefaultBlock
+	if n/block < 10 {
+		block = n / 10
+	}
+	if block < 2 {
+		block = 2
+	}
+	return block
+}
+
 // Analyze fits a pWCET model to a sequence of execution times using block
 // maxima of the given size and a PWM Gumbel fit. With block <= 0 the size
-// adapts: DefaultBlock when the campaign affords at least ten maxima,
-// smaller otherwise, so reduced-scale campaigns remain analyzable.
+// adapts via BlockFor. Times containing NaN, infinite or negative values
+// are rejected with an *InvalidTimeError.
 func Analyze(times []float64, block int) (PWCET, error) {
+	if err := ValidateTimes(times); err != nil {
+		return PWCET{}, err
+	}
 	if block <= 0 {
-		block = DefaultBlock
-		if len(times)/block < 10 {
-			block = len(times) / 10
-		}
-		if block < 2 {
-			block = 2
-		}
+		block = BlockFor(len(times))
 	}
 	maxima, err := BlockMaxima(times, block)
 	if err != nil {
 		return PWCET{}, err
 	}
+	return AnalyzeMaxima(maxima, block, len(times))
+}
+
+// AnalyzeMaxima fits the pWCET model from an already-reduced block-maxima
+// vector — the streaming entry point: a campaign that accumulated exact
+// per-block maxima online (stats.BlockMax) fits the same model as Analyze
+// without ever buffering the measurement vector. block is the size of the
+// blocks the maxima were taken over and runs the measurement count the
+// model consumed (recorded in PWCET.Runs).
+func AnalyzeMaxima(maxima []float64, block, runs int) (PWCET, error) {
+	if block < 1 {
+		return PWCET{}, errors.New("evt: block size must be >= 1")
+	}
+	if len(maxima) < 2 {
+		return PWCET{}, ErrBadSample
+	}
 	fit, err := FitPWM(maxima)
 	if err != nil {
 		return PWCET{}, err
 	}
-	return PWCET{Fit: fit, Block: block, Runs: len(times)}, nil
+	return PWCET{Fit: fit, Block: block, Runs: runs}, nil
 }
 
 // AtExceedance returns the pWCET estimate at a per-run exceedance

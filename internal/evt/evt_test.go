@@ -200,8 +200,9 @@ func TestAnalyzeAndExceedance(t *testing.T) {
 
 func TestAnalyzeConsistencyWithTruth(t *testing.T) {
 	// Block maxima of Gumbel(mu, beta) over B samples are Gumbel(mu +
-	// beta ln B, beta): the fitted tail must track the analytic one.
-	truth := Gumbel{Mu: 0, Beta: 1}
+	// beta ln B, beta): the fitted tail must track the analytic one. The
+	// location keeps every sample positive (valid execution times).
+	truth := Gumbel{Mu: 50, Beta: 1}
 	rng := prng.New(21)
 	times := make([]float64, 20000)
 	for i := range times {
@@ -211,7 +212,7 @@ func TestAnalyzeConsistencyWithTruth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantMu := math.Log(20)
+	wantMu := truth.Mu + math.Log(20)
 	if !almost(w.Fit.Mu, wantMu, 0.1) || !almost(w.Fit.Beta, 1, 0.1) {
 		t.Fatalf("fit %+v, want mu~%f beta~1", w.Fit, wantMu)
 	}

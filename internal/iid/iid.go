@@ -25,6 +25,18 @@ var ErrTooFewSamples = errors.New("iid: too few samples")
 // Alpha is the significance level used throughout the paper.
 const Alpha = 0.05
 
+// Window is the admissibility-test window: the fixed-size measurement
+// prefix the WW, KS and ET tests examine in the streaming analysis path.
+// The tests are sequence tests — they need raw observations, not
+// mergeable aggregates — so campaigns larger than the window test the
+// first Window runs and stream the rest through the O(1) accumulators.
+// Every historical campaign scale (the paper's 1000-run campaigns, the
+// BENCH trajectories' <= 160 runs) fits inside the window, so windowing
+// changes nothing for them: it only bounds memory for the million-run
+// campaigns the streaming path enables. The power of the tests at n =
+// 4096 is far past the point of diminishing returns for a 5% level.
+const Window = 4096
+
 // WWCritical is the two-sided 5% critical value of the standard normal,
 // the acceptance threshold the paper quotes for the runs test.
 const WWCritical = 1.96

@@ -26,11 +26,13 @@ type EngineCollector struct {
 	// store fingerprint; CLI runs leave it nil.
 	Resolve func(campaign string) (display, fingerprint string)
 
-	latency  map[string]*Histogram    // campaign latency by kind
-	phases   map[[2]string]*Histogram // phase latency by kind, phase
-	runs     map[string]*Counter      // completed runs by kind
-	outcomes map[[2]string]*Counter   // finished campaigns by kind, status
-	inflight *Gauge
+	latency   map[string]*Histogram    // campaign latency by kind
+	phases    map[[2]string]*Histogram // phase latency by kind, phase
+	runs      map[string]*Counter      // completed runs by kind
+	outcomes  map[[2]string]*Counter   // finished campaigns by kind, status
+	inflight  *Gauge
+	runsTotal *Counter // completed runs across all campaign kinds
+	accumPeak *Gauge   // high-water mark of streaming accumulator bytes
 
 	mu     sync.Mutex
 	active map[spanKey]*span
@@ -87,6 +89,10 @@ func NewEngineCollector(reg *Registry, tracer *Tracer) *EngineCollector {
 	}
 	c.inflight = reg.Gauge("rm_campaigns_inflight",
 		"Campaigns started but not yet finished.")
+	c.runsTotal = reg.Counter("rm_campaign_runs_total",
+		"Completed campaign runs across all campaign kinds.")
+	c.accumPeak = reg.Gauge("rm_accumulator_peak_bytes",
+		"Peak streaming-accumulator footprint reported by campaign snapshots.")
 	return c
 }
 
@@ -116,8 +122,17 @@ func (c *EngineCollector) Observe(ev core.Event) {
 		c.mu.Unlock()
 		c.inflight.Add(1)
 	case core.RunCompleted:
+		c.runsTotal.Inc()
 		if ctr := c.runs[ev.CampaignKind.String()]; ctr != nil {
 			ctr.Inc()
+		}
+	case core.SnapshotTaken:
+		// Event deliveries are serialized (sink contract), so the
+		// read-compare-set below never races with itself.
+		if ev.Snapshot != nil {
+			if v := int64(ev.Snapshot.AccumBytes); v > c.accumPeak.Value() {
+				c.accumPeak.Set(v)
+			}
 		}
 	case core.PhaseDone:
 		t := now()

@@ -269,6 +269,18 @@ func TestEngineCollector(t *testing.T) {
 	if got := reg.Counter("rm_runs_total", "", L("kind", "mbpta")).Value(); got != 3 {
 		t.Errorf("rm_runs_total{mbpta} = %d, want 3", got)
 	}
+	if got := reg.Counter("rm_campaign_runs_total", "").Value(); got != 3 {
+		t.Errorf("rm_campaign_runs_total = %d, want 3", got)
+	}
+	// The peak-accumulator gauge follows snapshot high-water marks and
+	// never regresses on a smaller later snapshot.
+	sink(core.Event{Kind: core.SnapshotTaken, Campaign: "fp1", CampaignKind: core.KindMBPTA,
+		Snapshot: &core.Snapshot{Runs: 2, Total: 3, AccumBytes: 4096}, Done: 2, Total: 3})
+	sink(core.Event{Kind: core.SnapshotTaken, Campaign: "fp1", CampaignKind: core.KindMBPTA,
+		Snapshot: &core.Snapshot{Runs: 3, Total: 3, AccumBytes: 1024}, Done: 3, Total: 3})
+	if got := reg.Gauge("rm_accumulator_peak_bytes", "").Value(); got != 4096 {
+		t.Errorf("rm_accumulator_peak_bytes = %d, want 4096 (the peak)", got)
+	}
 	if got := reg.Counter("rm_campaigns_total", "", L("kind", "mbpta"), L("status", "ok")).Value(); got != 1 {
 		t.Errorf("rm_campaigns_total{mbpta,ok} = %d, want 1", got)
 	}

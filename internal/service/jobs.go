@@ -71,6 +71,7 @@ type Job struct {
 	result   *core.Result
 	err      error
 	runsDone int
+	snapshot *core.Snapshot // latest streaming snapshot (nil before the first)
 	subs     map[chan core.Event]struct{}
 	done     chan struct{} // closed exactly once on done/failed/canceled
 }
@@ -101,6 +102,17 @@ func (j *Job) Snapshot() (state JobState, runsDone int, result *core.Result, err
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Progress returns the latest streaming snapshot the campaign published
+// (nil before the first chunk merges). Snapshots keep converging while the
+// campaign runs and the last one — covering every run — survives
+// completion, so pollers of GET /v1/campaigns/{id} watch the pWCET
+// estimate settle without subscribing to the event stream.
+func (j *Job) Progress() *core.Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapshot
+}
 
 // start marks the job running.
 func (j *Job) start(now time.Time) {
@@ -142,6 +154,9 @@ func (j *Job) publish(ev core.Event) {
 	j.mu.Lock()
 	if ev.Kind == core.RunCompleted {
 		j.runsDone = ev.Done
+	}
+	if ev.Kind == core.SnapshotTaken && ev.Snapshot != nil {
+		j.snapshot = ev.Snapshot
 	}
 	for ch := range j.subs {
 		select {

@@ -424,3 +424,72 @@ func TestSecuritySubmitValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestCampaignSnapshot: the status endpoint carries the streaming
+// snapshot — after completion it covers every run and agrees with the
+// final result, so pollers that watched it converge end on the answer.
+func TestCampaignSnapshot(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	sub, code := postCampaign(t, ts, `{"workload":"tblook01","placement":"RM","runs":60,"seed":5,"analyze":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit code = %d", code)
+	}
+	st := waitDone(t, ts, sub.ID)
+	if st.State != "done" || st.Result == nil {
+		t.Fatalf("state=%s error=%q", st.State, st.Error)
+	}
+	if st.Snapshot == nil {
+		t.Fatal("done status has no snapshot")
+	}
+	if st.Snapshot.Runs != 60 || st.Snapshot.Total != 60 {
+		t.Fatalf("final snapshot covers %d/%d, want 60/60", st.Snapshot.Runs, st.Snapshot.Total)
+	}
+	if st.Snapshot.Mean != st.Result.Mean || st.Snapshot.Max != st.Result.HWM {
+		t.Fatalf("snapshot mean/max (%v, %v) disagree with result (%v, %v)",
+			st.Snapshot.Mean, st.Snapshot.Max, st.Result.Mean, st.Result.HWM)
+	}
+	if st.Snapshot.AccumBytes <= 0 {
+		t.Fatal("snapshot reports no accumulator footprint")
+	}
+	if st.Snapshot.Blocks < 2 || st.Snapshot.PWCET12 <= st.Snapshot.Max {
+		t.Fatalf("converged pWCET snapshot implausible: %+v", st.Snapshot)
+	}
+}
+
+// TestKeepTimesFalseService: a keep_times=false submission completes with
+// aggregates and analysis but no times vector, and does not share a cache
+// entry with the buffered form of the same campaign.
+func TestKeepTimesFalseService(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	drop, code := postCampaign(t, ts, `{"workload":"tblook01","placement":"RM","runs":60,"seed":5,"analyze":true,"keep_times":false}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit code = %d", code)
+	}
+	keep, code := postCampaign(t, ts, `{"workload":"tblook01","placement":"RM","runs":60,"seed":5,"analyze":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("keep submit code = %d (coalesced onto the drop job?)", code)
+	}
+	if keep.Fingerprint == drop.Fingerprint {
+		t.Fatal("keep and drop submissions share a fingerprint")
+	}
+	st := waitDone(t, ts, drop.ID)
+	if st.State != "done" || st.Result == nil {
+		t.Fatalf("state=%s error=%q", st.State, st.Error)
+	}
+	if len(st.Result.Times) != 0 {
+		t.Fatalf("keep_times=false result carries %d times", len(st.Result.Times))
+	}
+	if st.Result.Runs != 60 {
+		t.Fatalf("runs = %d, want 60 (from the streaming summary)", st.Result.Runs)
+	}
+	if st.Result.Analysis == nil || st.Result.HWM <= 0 || st.Result.Mean <= 0 {
+		t.Fatalf("dropped-times result lost its aggregates: %+v", st.Result)
+	}
+	kst := waitDone(t, ts, keep.ID)
+	if len(kst.Result.Times) != 60 {
+		t.Fatalf("buffered twin has %d times, want 60", len(kst.Result.Times))
+	}
+	if kst.Result.HWM != st.Result.HWM || kst.Result.Mean != st.Result.Mean {
+		t.Fatal("keep and drop twins disagree on aggregates")
+	}
+}

@@ -30,10 +30,46 @@ type statusResponse struct {
 	Started     *time.Time       `json:"started,omitempty"`
 	Finished    *time.Time       `json:"finished,omitempty"`
 	Error       string           `json:"error,omitempty"`
-	Result      *resultJSON      `json:"result,omitempty"`
+	// Snapshot is the latest converging view of the streaming accumulators:
+	// present as soon as the first chunk of runs merges, updated while the
+	// campaign runs (watch the pWCET estimates settle), and retained after
+	// completion (where it covers every run).
+	Snapshot *snapshotJSON `json:"snapshot,omitempty"`
+	Result   *resultJSON   `json:"result,omitempty"`
 }
 
-// resultJSON is the wire form of a core.Result.
+// snapshotJSON is the wire form of a core.Snapshot.
+type snapshotJSON struct {
+	Runs       int     `json:"runs"`
+	Total      int     `json:"total"`
+	Mean       float64 `json:"mean"`
+	Min        float64 `json:"min"`
+	Max        float64 `json:"max"`
+	P50        float64 `json:"p50"`
+	P95        float64 `json:"p95"`
+	P99        float64 `json:"p99"`
+	Blocks     int     `json:"blocks,omitempty"`
+	PWCET12    float64 `json:"pwcet_1e12,omitempty"`
+	PWCET15    float64 `json:"pwcet_1e15,omitempty"`
+	AccumBytes int     `json:"accum_bytes"`
+}
+
+func snapshotOf(s *core.Snapshot) *snapshotJSON {
+	if s == nil {
+		return nil
+	}
+	return &snapshotJSON{
+		Runs: s.Runs, Total: s.Total,
+		Mean: s.Mean, Min: s.Min, Max: s.Max,
+		P50: s.P50, P95: s.P95, P99: s.P99,
+		Blocks: s.Blocks, PWCET12: s.PWCET12, PWCET15: s.PWCET15,
+		AccumBytes: s.AccumBytes,
+	}
+}
+
+// resultJSON is the wire form of a core.Result. Times is omitted for
+// keep_times=false campaigns; Runs always reports the campaign size (from
+// the streaming summary when the vector was dropped).
 type resultJSON struct {
 	Name    string    `json:"name"`
 	Runs    int       `json:"runs"`
@@ -42,7 +78,7 @@ type resultJSON struct {
 	IL1Miss float64   `json:"il1_miss"`
 	DL1Miss float64   `json:"dl1_miss"`
 	L2Miss  float64   `json:"l2_miss"`
-	Times   []float64 `json:"times"`
+	Times   []float64 `json:"times,omitempty"`
 	Trace   struct {
 		Accesses int `json:"accesses"`
 		Fetches  int `json:"fetches"`
@@ -90,9 +126,13 @@ func resultOf(res *core.Result) *resultJSON {
 	if res == nil {
 		return nil
 	}
+	runs := len(res.Times)
+	if runs == 0 {
+		runs = int(res.Summary.Moments.N)
+	}
 	out := &resultJSON{
 		Name:     res.Name,
-		Runs:     len(res.Times),
+		Runs:     runs,
 		HWM:      res.HWM(),
 		Mean:     res.Mean(),
 		IL1Miss:  res.IL1Miss,
@@ -118,6 +158,7 @@ func statusOf(j *Job) statusResponse {
 		State:       state.String(),
 		RunsDone:    runsDone,
 		Submitted:   j.Submitted,
+		Snapshot:    snapshotOf(j.Progress()),
 		Result:      resultOf(result),
 	}
 	if !started.IsZero() {
@@ -136,15 +177,17 @@ func statusOf(j *Job) statusResponse {
 // form of a core.Event, plus the synthetic terminal line (kind "end",
 // with the job's final state).
 type wireEvent struct {
-	Kind     string  `json:"kind"` // "started", "run", "phase", "finished", "end"
+	Kind     string  `json:"kind"` // "started", "run", "phase", "snapshot", "finished", "end"
 	Campaign string  `json:"campaign"`
 	Phase    string  `json:"phase,omitempty"` // "phase" lines only
 	Run      int     `json:"run,omitempty"`
 	Cycles   float64 `json:"cycles,omitempty"`
 	Done     int     `json:"done"`
 	Total    int     `json:"total,omitempty"`
-	State    string  `json:"state,omitempty"` // "end" lines only
-	Err      string  `json:"error,omitempty"`
+	// Snapshot carries the converging statistics on "snapshot" lines.
+	Snapshot *snapshotJSON `json:"snapshot,omitempty"`
+	State    string        `json:"state,omitempty"` // "end" lines only
+	Err      string        `json:"error,omitempty"`
 }
 
 func wireEventOf(ev core.Event) wireEvent {
@@ -156,6 +199,7 @@ func wireEventOf(ev core.Event) wireEvent {
 		Cycles:   ev.Cycles,
 		Done:     ev.Done,
 		Total:    ev.Total,
+		Snapshot: snapshotOf(ev.Snapshot),
 	}
 	if ev.Err != nil {
 		out.Err = ev.Err.Error()

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LackeyError reports a malformed line in a valgrind/lackey trace.
+type LackeyError struct {
+	Line   int    // 1-based line number
+	Text   string // offending line (truncated for huge lines)
+	Reason string
+}
+
+func (e *LackeyError) Error() string {
+	return fmt.Sprintf("trace: lackey line %d: %s (%q)", e.Line, e.Reason, e.Text)
+}
+
+// lackeyMaxSize bounds the size operand of one access record. Lackey
+// reports per-instruction data widths; anything past a page is a parse
+// artifact, not an access.
+const lackeyMaxSize = 4096
+
+// ParseLackey reads an address trace in the format produced by
+//
+//	valgrind --tool=lackey --trace-mem=yes prog
+//
+// and returns it as a Trace, the ingestion path for real-program traces:
+// parse, then Compile the result and replay it on any platform. Records
+// look like
+//
+//	I  0400aa,3     instruction fetch
+//	 L 0421f0,8     data load
+//	 S 0421f8,8     data store
+//	 M 042200,4     modify (load + store of one location)
+//
+// with bare hexadecimal addresses. A modify expands to a Load followed by
+// a Store at the same address, preserving access order. Valgrind banner
+// lines ("==pid==", "--pid--") and blank lines are skipped, so piping
+// valgrind's combined output works. Any other line fails with a
+// *LackeyError carrying the line number; an input with no access records
+// is an error too (an empty trace cannot be replayed).
+func ParseLackey(r io.Reader) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out Trace
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Text()
+		s := strings.TrimSpace(raw)
+		if s == "" || strings.HasPrefix(s, "==") || strings.HasPrefix(s, "--") {
+			continue
+		}
+		var kind byte
+		kind, s = s[0], strings.TrimSpace(s[1:])
+		addrText, sizeText, ok := strings.Cut(s, ",")
+		if !ok {
+			return nil, lackeyErr(line, raw, "expected \"addr,size\" after the access kind")
+		}
+		addr, err := strconv.ParseUint(strings.TrimSpace(addrText), 16, 64)
+		if err != nil {
+			return nil, lackeyErr(line, raw, "bad address: "+parseReason(err))
+		}
+		size, err := strconv.ParseUint(strings.TrimSpace(sizeText), 10, 32)
+		if err != nil {
+			return nil, lackeyErr(line, raw, "bad size: "+parseReason(err))
+		}
+		if size < 1 || size > lackeyMaxSize {
+			return nil, lackeyErr(line, raw, fmt.Sprintf("size %d out of range [1, %d]", size, lackeyMaxSize))
+		}
+		switch kind {
+		case 'I':
+			out = append(out, Access{Addr: addr, Kind: Fetch})
+		case 'L':
+			out = append(out, Access{Addr: addr, Kind: Load})
+		case 'S':
+			out = append(out, Access{Addr: addr, Kind: Store})
+		case 'M':
+			out = append(out, Access{Addr: addr, Kind: Load}, Access{Addr: addr, Kind: Store})
+		default:
+			return nil, lackeyErr(line, raw, fmt.Sprintf("unknown access kind %q (want I, L, S or M)", string(kind)))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading lackey input: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("trace: lackey input holds no access records")
+	}
+	return out, nil
+}
+
+func lackeyErr(line int, text, reason string) *LackeyError {
+	const maxText = 40
+	if len(text) > maxText {
+		text = text[:maxText] + "..."
+	}
+	return &LackeyError{Line: line, Text: text, Reason: reason}
+}
+
+// parseReason strips strconv's noisy prefix ("strconv.ParseUint: parsing
+// ...:") down to the cause, keeping LackeyError messages readable.
+func parseReason(err error) string {
+	if ne, ok := err.(*strconv.NumError); ok {
+		return ne.Err.Error()
+	}
+	return err.Error()
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseLackeyBasic(t *testing.T) {
+	in := `==12345== Lackey, an example tool
+--12345-- some valgrind chatter
+I  0400aa,3
+ L 0421f0,8
+ S 0421f8,8
+ M 042200,4
+
+I  0400ad,4
+`
+	tr, err := ParseLackey(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Trace{
+		{Addr: 0x0400aa, Kind: Fetch},
+		{Addr: 0x0421f0, Kind: Load},
+		{Addr: 0x0421f8, Kind: Store},
+		{Addr: 0x042200, Kind: Load},
+		{Addr: 0x042200, Kind: Store},
+		{Addr: 0x0400ad, Kind: Fetch},
+	}
+	if len(tr) != len(want) {
+		t.Fatalf("got %d accesses, want %d", len(tr), len(want))
+	}
+	for i := range want {
+		if tr[i] != want[i] {
+			t.Fatalf("access %d = %+v, want %+v", i, tr[i], want[i])
+		}
+	}
+	f, l, s := tr.Counts()
+	if f != 2 || l != 2 || s != 2 {
+		t.Fatalf("counts = %d/%d/%d, want 2/2/2", f, l, s)
+	}
+}
+
+func TestParseLackeyErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+		line     int
+	}{
+		{"missing comma", "I 0400aa 3\n", 1},
+		{"bad kind", "X 0400aa,3\n", 1},
+		{"bad address", "I zz,3\n", 1},
+		{"huge address", "I FFFFFFFFFFFFFFFFF,4\n", 1},
+		{"zero size", "I 0400aa,0\n", 1},
+		{"huge size", "I 0400aa,65536\n", 1},
+		{"negative size", "I 0400aa,-3\n", 1},
+		{"second line", "I 0400aa,3\ngarbage\n", 2},
+		{"truncated record", "I 0400aa,3\nL 0421f0\n", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseLackey(strings.NewReader(tc.in))
+			var le *LackeyError
+			if !errors.As(err, &le) {
+				t.Fatalf("err = %v, want *LackeyError", err)
+			}
+			if le.Line != tc.line {
+				t.Fatalf("error at line %d (%v), want line %d", le.Line, le, tc.line)
+			}
+		})
+	}
+}
+
+func TestParseLackeyEmpty(t *testing.T) {
+	for _, in := range []string{"", "==1== banner only\n", "\n\n"} {
+		if _, err := ParseLackey(strings.NewReader(in)); err == nil {
+			t.Fatalf("ParseLackey(%q) accepted an input with no accesses", in)
+		}
+	}
+}
+
+// TestParseLackeyCompiles: a parsed trace feeds straight into Compile,
+// the property the ingestion pipeline relies on.
+func TestParseLackeyCompiles(t *testing.T) {
+	in := "I 1000,4\n M 2000,8\n L 3020,4\n"
+	tr, err := ParseLackey(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := Compile(tr, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct == nil {
+		t.Fatal("Compile returned nil for a valid parsed trace")
+	}
+}
+
+// FuzzParseLackey: the parser must never panic and every accepted access
+// must carry a valid kind, whatever bytes arrive (malformed lines,
+// truncated records, huge addresses).
+func FuzzParseLackey(f *testing.F) {
+	f.Add("I  0400aa,3\n L 0421f0,8\n S 0421f8,8\n M 042200,4\n")
+	f.Add("==12345== banner\n--12345-- chatter\nI 0,1\n")
+	f.Add("I FFFFFFFFFFFFFFFFF,4\n")
+	f.Add("I FFFFFFFFFFFFFFFF,4096\n")
+	f.Add("M 042200")
+	f.Add("L ,\n")
+	f.Add("\x00\x01\x02")
+	f.Add("I 0400aa,3")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ParseLackey(strings.NewReader(in))
+		if err != nil {
+			var le *LackeyError
+			if errors.As(err, &le) && le.Line < 1 {
+				t.Fatalf("LackeyError with bad line number %d", le.Line)
+			}
+			return
+		}
+		if len(tr) == 0 {
+			t.Fatal("nil error but empty trace")
+		}
+		for i, a := range tr {
+			if a.Kind != Fetch && a.Kind != Load && a.Kind != Store {
+				t.Fatalf("access %d has invalid kind %d", i, a.Kind)
+			}
+		}
+	})
+}

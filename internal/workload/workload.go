@@ -124,6 +124,21 @@ type Workload struct {
 	Build       func(l Layout) trace.Trace
 }
 
+// FromTrace wraps an externally captured address trace (e.g. a valgrind
+// lackey capture parsed by trace.ParseLackey) as a Workload. The trace is
+// fixed: Build ignores the Layout, because the capture's addresses are
+// the program's real placement. That makes MBPTA campaigns over it exact
+// replays, while baseline (layout-randomizing) campaigns see no run-to-run
+// variation — a captured trace cannot be relinked, so the HWM protocol
+// degenerates to repetition and is not meaningful for these workloads.
+func FromTrace(name, description string, tr trace.Trace) Workload {
+	return Workload{
+		Name:        name,
+		Description: description,
+		Build:       func(Layout) trace.Trace { return tr },
+	}
+}
+
 // kernel carries the trace builder plus the program-internal pseudo-random
 // state. The PRNG is seeded from the kernel name only: its draws are part
 // of the program (input data, branch history), identical on every run.
