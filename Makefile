@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race vet fmt lint rmlint check-noalloc vuln fuzz-short verify smoke smoke-security smoke-serve smoke-metrics serve bench bench-hotpath bench-json bench-compare full-bench
+.PHONY: build test test-short race vet fmt lint rmlint check-noalloc vuln fuzz-short verify smoke smoke-security smoke-serve smoke-metrics smoke-chaos serve bench bench-hotpath bench-json bench-json-resumed bench-compare full-bench
 
 build:
 	$(GO) build ./...
@@ -83,6 +83,13 @@ smoke-serve:
 smoke-metrics:
 	sh scripts/smoke-metrics.sh
 
+# Kill-resume chaos smoke: SIGKILL rmserved mid-campaign with the durable
+# tier and deterministic storage fault injection active, restart it on the
+# same data dir, and assert the resumed result is bit-identical to a
+# clean memory-only run. What CI's chaos step runs.
+smoke-chaos:
+	sh scripts/smoke-chaos.sh
+
 # Run the campaign service daemon locally.
 serve:
 	$(GO) run ./cmd/rmserved -addr :8080
@@ -103,6 +110,14 @@ bench-hotpath:
 BENCH_JSON ?= BENCH_PR5.json
 bench-json:
 	$(GO) run ./cmd/paperbench -short -json $(BENCH_JSON)
+
+# Resumed-run determinism gate input: the same trajectory regenerated with
+# every campaign interrupted at a mid-campaign checkpoint and resumed
+# (paperbench -resume-check). bench-compare against the committed
+# snapshots must stay bit-identical -- the checkpoint/resume contract,
+# measured over the whole evaluation suite.
+bench-json-resumed:
+	$(GO) run ./cmd/paperbench -short -resume-check -json $(BENCH_JSON)
 
 # Determinism-trajectory gate: per-campaign HWM/mean/pWCET quantiles of
 # the new snapshot must be bit-identical to the committed previous one

@@ -15,7 +15,7 @@
 //
 //	paperbench [-exp all|table1|table2|fig1|fig4a|fig4b|fig5|avgperf|collision|ablations|multicore|convergence]
 //	           [-full|-short] [-workers N] [-timeout d] [-progress] [-csv dir] [-json path]
-//	           [-metrics path] [-cpuprofile path] [-memprofile path]
+//	           [-metrics path] [-cpuprofile path] [-memprofile path] [-resume-check]
 //
 // -full restores the paper's campaign sizes (1000 runs per benchmark);
 // -short shrinks them to a smoke-test scale; the default regenerates
@@ -30,6 +30,11 @@
 // -metrics writes the observability registry (campaign latency histograms
 // with p50/p99/p999 per campaign kind, run counters, pool occupancy) plus
 // the recent campaign trace spans as a JSON document at exit.
+// -resume-check reruns every campaign through the crash path — interrupt
+// at the first checkpoint past the midpoint, round-trip the checkpoint
+// blob through the wire codec, resume to completion — so the bench
+// trajectory regenerated under it must stay bit-identical to the
+// committed snapshots (make bench-json-resumed + bench-compare in CI).
 // -cpuprofile and -memprofile write pprof profiles of the regeneration
 // (the whole run for CPU; a heap snapshot at exit for memory), so
 // hot-path regressions can be profiled without editing the harness:
@@ -89,6 +94,7 @@ func main() {
 	csvDir := flag.String("csv", "", "directory for machine-readable CSV output (optional)")
 	jsonPath := flag.String("json", "", "write machine-readable per-campaign results (name, HWM, mean, pWCET quantiles, wall time) to this file")
 	metricsPath := flag.String("metrics", "", "write the metrics registry (campaign latency histograms with p50/p99/p999, run counters) and recent trace spans as JSON to this file")
+	resumeCheck := flag.Bool("resume-check", false, "execute every campaign as an interrupted-and-resumed pair (checkpoint at the midpoint, wire round-trip, resume); results must be bit-identical to plain runs")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the regeneration to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -127,6 +133,9 @@ func main() {
 	}
 
 	var opts []core.EngineOption
+	if *resumeCheck {
+		opts = append(opts, core.WithCheckpointReplay())
+	}
 	var meter *progressMeter
 	var recorder *resultRecorder
 	var collector *obs.EngineCollector

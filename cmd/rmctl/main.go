@@ -1,0 +1,196 @@
+// Command rmctl is the resilient command-line client for rmserved,
+// built on internal/client: every call retries temporary failures
+// (queue-full 429s with their Retry-After hint, draining 503s, transient
+// 5xx) on a jittered exponential backoff whose schedule is a pure
+// function of -retry-seed.
+//
+// Usage:
+//
+//	rmctl [-addr URL] [-timeout D] [-retries N] [-retry-seed N] <command> [args]
+//
+// Commands:
+//
+//	submit {JSON|@file|-}   submit a campaign; the argument is the wire
+//	                        request as inline JSON, @file, or - for stdin.
+//	                        Prints the service ticket (id, fingerprint).
+//	status ID               print the campaign's current status JSON.
+//	wait ID                 poll until the campaign reaches a terminal
+//	                        state; print the final status JSON. Exits 1
+//	                        if the campaign failed or was canceled.
+//	stream ID               relay the campaign's NDJSON event stream to
+//	                        stdout until the terminal line (reconnecting
+//	                        across dropped connections).
+//	health                  print the service's /healthz JSON.
+//
+// Exit codes follow the house convention: 0 success, 1 runtime or
+// campaign failure, 2 usage error.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rmctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "rmserved base URL")
+	timeout := fs.Duration("timeout", 10*time.Minute, "overall deadline for the command")
+	retries := fs.Int("retries", 5, "attempts per request (temporary failures retry with backoff)")
+	seed := fs.Uint64("retry-seed", 1, "backoff jitter seed (same seed, same retry schedule)")
+	poll := fs.Duration("poll", 200*time.Millisecond, "status poll interval for wait")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: rmctl [flags] {submit {JSON|@file|-} | status ID | wait ID | stream ID | health}")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *retries < 1 || *timeout <= 0 || *poll <= 0 {
+		fmt.Fprintln(stderr, "rmctl: -retries must be >= 1 and -timeout/-poll positive")
+		return 2
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	bo := client.DefaultBackoff()
+	bo.Tries = *retries
+	c := client.New(*addr, client.WithJitterSeed(*seed), client.WithBackoff(bo))
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var err error
+	switch cmd, cmdArgs := rest[0], rest[1:]; cmd {
+	case "submit":
+		err = cmdSubmit(ctx, c, cmdArgs, stdin, stdout)
+	case "status":
+		err = cmdStatus(ctx, c, cmdArgs, stdout)
+	case "wait":
+		err = cmdWait(ctx, c, cmdArgs, *poll, stdout)
+	case "stream":
+		err = cmdStream(ctx, c, cmdArgs, stdout)
+	case "health":
+		if len(cmdArgs) != 0 {
+			err = usageError{"health takes no arguments"}
+		} else {
+			var h json.RawMessage
+			if h, err = c.Health(ctx); err == nil {
+				err = printJSON(stdout, h)
+			}
+		}
+	default:
+		err = usageError{fmt.Sprintf("unknown command %q", cmd)}
+	}
+	if err != nil {
+		var ue usageError
+		if errors.As(err, &ue) {
+			fmt.Fprintln(stderr, "rmctl:", ue.msg)
+			fs.Usage()
+			return 2
+		}
+		fmt.Fprintln(stderr, "rmctl:", err)
+		return 1
+	}
+	return 0
+}
+
+// usageError marks argument mistakes that should exit 2, not 1.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+// requestBody resolves submit's argument forms: inline JSON, @file, or
+// "-" for stdin.
+func requestBody(arg string, stdin io.Reader) ([]byte, error) {
+	switch {
+	case arg == "-":
+		return io.ReadAll(stdin)
+	case strings.HasPrefix(arg, "@"):
+		return os.ReadFile(strings.TrimPrefix(arg, "@"))
+	default:
+		return []byte(arg), nil
+	}
+}
+
+func cmdSubmit(ctx context.Context, c *client.Client, args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) != 1 {
+		return usageError{"submit needs exactly one argument: inline JSON, @file, or -"}
+	}
+	body, err := requestBody(args[0], stdin)
+	if err != nil {
+		return err
+	}
+	var wire core.WireRequest
+	dec := json.NewDecoder(strings.NewReader(string(body)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wire); err != nil {
+		return usageError{fmt.Sprintf("bad request JSON: %v", err)}
+	}
+	sub, err := c.Submit(ctx, wire)
+	if err != nil {
+		return err
+	}
+	return printJSON(stdout, sub)
+}
+
+func cmdStatus(ctx context.Context, c *client.Client, args []string, stdout io.Writer) error {
+	if len(args) != 1 {
+		return usageError{"status needs exactly one campaign ID"}
+	}
+	st, err := c.Status(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	return printJSON(stdout, st)
+}
+
+func cmdWait(ctx context.Context, c *client.Client, args []string, poll time.Duration, stdout io.Writer) error {
+	if len(args) != 1 {
+		return usageError{"wait needs exactly one campaign ID"}
+	}
+	st, err := c.Wait(ctx, args[0], poll)
+	if err != nil {
+		return err
+	}
+	if err := printJSON(stdout, st); err != nil {
+		return err
+	}
+	if st.State != "done" {
+		return fmt.Errorf("campaign %s %s: %s", st.ID, st.State, st.Error)
+	}
+	return nil
+}
+
+func cmdStream(ctx context.Context, c *client.Client, args []string, stdout io.Writer) error {
+	if len(args) != 1 {
+		return usageError{"stream needs exactly one campaign ID"}
+	}
+	enc := json.NewEncoder(stdout)
+	return c.Stream(ctx, args[0], func(ev client.Event) error {
+		return enc.Encode(ev)
+	})
+}
+
+// printJSON writes v as one indented JSON document.
+func printJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// testService boots a real in-process service behind an HTTP listener.
+func testService(t *testing.T) string {
+	t.Helper()
+	svc, err := service.New(service.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// rmctl runs the CLI with stdin and returns (exit, stdout, stderr).
+func rmctl(stdin string, args ...string) (int, string, string) {
+	var out, errw bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// TestUsageErrors: argument mistakes exit 2 with usage on stderr.
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},                          // no command
+		{"explode"},                 // unknown command
+		{"submit"},                  // missing body
+		{"status"},                  // missing id
+		{"wait", "a", "b"},          // too many args
+		{"health", "extra"},         // health takes none
+		{"-retries", "0", "health"}, // invalid flag value
+		{"submit", `{"nope":1}`},    // unknown wire field
+	}
+	for _, args := range cases {
+		code, _, stderr := rmctl("", args...)
+		if code != 2 {
+			t.Errorf("rmctl %v exited %d (stderr %q), want 2", args, code, stderr)
+		}
+	}
+}
+
+// TestSubmitWaitStreamHealth drives the full command surface against a
+// real service, exercising all three submit argument forms.
+func TestSubmitWaitStreamHealth(t *testing.T) {
+	url := testService(t)
+	const body = `{"workload":"tblook01","placement":"RM","runs":40,"seed":9,"analyze":true}`
+
+	// submit: inline JSON.
+	code, out, stderr := rmctl("", "-addr", url, "submit", body)
+	if code != 0 {
+		t.Fatalf("submit exited %d: %s", code, stderr)
+	}
+	var sub struct {
+		ID          string `json:"id"`
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.Unmarshal([]byte(out), &sub); err != nil || sub.ID == "" {
+		t.Fatalf("submit output %q: %v", out, err)
+	}
+
+	// submit: @file and stdin resolve to the same fingerprint (the
+	// content-addressed cache recognises the resubmission).
+	file := filepath.Join(t.TempDir(), "req.json")
+	if err := os.WriteFile(file, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, stderr = rmctl("", "-addr", url, "submit", "@"+file)
+	if code != 0 {
+		t.Fatalf("submit @file exited %d: %s", code, stderr)
+	}
+	var fromFile struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.Unmarshal([]byte(out), &fromFile); err != nil || fromFile.Fingerprint != sub.Fingerprint {
+		t.Fatalf("@file fingerprint %q, want %q", fromFile.Fingerprint, sub.Fingerprint)
+	}
+	code, out, _ = rmctl(body, "-addr", url, "submit", "-")
+	var fromStdin struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	if code != 0 || json.Unmarshal([]byte(out), &fromStdin) != nil || fromStdin.Fingerprint != sub.Fingerprint {
+		t.Fatalf("stdin submit exit %d output %q", code, out)
+	}
+
+	// wait: terminal status with the result attached.
+	code, out, stderr = rmctl("", "-addr", url, "wait", sub.ID)
+	if code != 0 {
+		t.Fatalf("wait exited %d: %s", code, stderr)
+	}
+	var st struct {
+		State  string `json:"state"`
+		Result *struct {
+			Runs int `json:"runs"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" || st.Result == nil || st.Result.Runs != 40 {
+		t.Fatalf("wait status %s", out)
+	}
+
+	// status: same terminal view.
+	code, out, _ = rmctl("", "-addr", url, "status", sub.ID)
+	if code != 0 || !strings.Contains(out, `"state": "done"`) {
+		t.Fatalf("status exit %d output %s", code, out)
+	}
+
+	// stream: NDJSON relay ending with the terminal line.
+	code, out, stderr = rmctl("", "-addr", url, "stream", sub.ID)
+	if code != 0 {
+		t.Fatalf("stream exited %d: %s", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var last struct {
+		Kind  string `json:"kind"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Kind != "end" || last.State != "done" {
+		t.Fatalf("stream last line %q", lines[len(lines)-1])
+	}
+
+	// health: liveness JSON.
+	code, out, _ = rmctl("", "-addr", url, "health")
+	if code != 0 || !strings.Contains(out, `"status": "ok"`) {
+		t.Fatalf("health exit %d output %s", code, out)
+	}
+}
+
+// TestRuntimeErrorsExitOne: service-side failures are exit 1, not 2.
+func TestRuntimeErrorsExitOne(t *testing.T) {
+	url := testService(t)
+	// Unknown campaign: typed 404 from the service.
+	code, _, stderr := rmctl("", "-addr", url, "status", "c-999999")
+	if code != 1 || !strings.Contains(stderr, "404") {
+		t.Fatalf("unknown id exit %d stderr %q, want 1 with a 404", code, stderr)
+	}
+	// Validation rejected by the service (unknown workload): exit 1.
+	code, _, stderr = rmctl("", "-addr", url, "submit", `{"workload":"nope","placement":"RM","runs":5}`)
+	if code != 1 {
+		t.Fatalf("bad workload exit %d stderr %q, want 1", code, stderr)
+	}
+	// Unreachable server after the retry budget: exit 1.
+	code, _, _ = rmctl("", "-addr", "http://127.0.0.1:1", "-retries", "1", "health")
+	if code != 1 {
+		t.Fatalf("unreachable server exit %d, want 1", code)
+	}
+}
+
+// TestWaitFailedCampaignExitOne: wait prints the terminal status but
+// reports non-done outcomes through the exit code.
+func TestWaitFailedCampaignExitOne(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(map[string]string{
+			"id": "c-000007", "state": "failed", "error": "simulated platform fault",
+		})
+	}))
+	t.Cleanup(ts.Close)
+	code, out, stderr := rmctl("", "-addr", ts.URL, "wait", "c-000007")
+	if code != 1 {
+		t.Fatalf("failed campaign exit %d stderr %q, want 1", code, stderr)
+	}
+	if !strings.Contains(out, `"state": "failed"`) {
+		t.Fatalf("wait did not print the terminal status: %s", out)
+	}
+	if !strings.Contains(stderr, "c-000007") || !strings.Contains(stderr, "simulated platform fault") {
+		t.Fatalf("failure stderr %q does not name the campaign and error", stderr)
+	}
+}

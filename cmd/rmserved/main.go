@@ -7,6 +7,8 @@
 //
 //	rmserved [-addr :8080] [-workers N] [-jobs N] [-queue N] [-cache N]
 //	         [-default-runs N] [-max-runs N] [-log text|json] [-pprof]
+//	         [-data-dir DIR] [-checkpoint-every N] [-drain-timeout D]
+//	         [-fault-seed N -fault-rate P]
 //
 // Endpoints:
 //
@@ -18,7 +20,7 @@
 //	GET  /v1/workloads             workload catalog
 //	GET  /v1/kinds                 campaign kinds + security protocol vocabulary
 //	GET  /v1/traces                recent campaign trace spans (phase timings)
-//	GET  /healthz                  liveness + queue and cache statistics
+//	GET  /healthz                  liveness + queue, cache and disk statistics
 //	GET  /metrics                  Prometheus text-format metrics
 //	GET  /debug/pprof/...          Go profiling endpoints (only with -pprof)
 //
@@ -32,9 +34,18 @@
 // channel, Prime+Probe -- against the selected placement and report
 // success-vs-effort curves instead.
 //
+// -data-dir enables the durable tier: completed results persist across
+// restarts, running campaigns checkpoint their streaming frontier every
+// -checkpoint-every runs, and a killed daemon resumes its interrupted
+// campaigns on the next start — bit-identically, per the checkpoint
+// contract. -fault-seed/-fault-rate inject deterministic storage faults
+// under the durable tier (chaos testing only).
+//
 // SIGINT/SIGTERM drain gracefully: the listener stops, in-flight
 // campaigns are cancelled via context, and the process exits once the
-// job workers have returned.
+// job workers have returned. -drain-timeout bounds how long the drain
+// waits for open connections (a stream to a stuck consumer is
+// force-closed at the deadline, so shutdown always completes).
 package main
 
 import (
@@ -51,6 +62,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/service"
 )
 
@@ -58,15 +70,24 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free one)")
 	workers := flag.Int("workers", 0, "simulation pool size (0 = GOMAXPROCS)")
 	jobs := flag.Int("jobs", 2, "campaigns executing concurrently")
-	queue := flag.Int("queue", 64, "bounded job queue depth (full queue returns 503)")
+	queue := flag.Int("queue", 64, "bounded job queue depth (full queue returns 429)")
 	cache := flag.Int("cache", 1024, "content-addressed result cache size (entries, LRU)")
 	defaultRuns := flag.Int("default-runs", 300, "runs applied to submissions that omit them")
 	maxRuns := flag.Int("max-runs", 100000, "largest accepted campaign")
 	logFormat := flag.String("log", "text", "access-log format: text or json")
-	pprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	pprofF := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	dataDir := flag.String("data-dir", "", "durable store directory (empty = memory only)")
+	ckptEvery := flag.Int("checkpoint-every", 50, "checkpoint cadence in runs (with -data-dir)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "bound on graceful drain; stuck connections are force-closed after it")
+	faultSeed := flag.Uint64("fault-seed", 0, "storage fault-injection seed (chaos testing; with -fault-rate)")
+	faultRate := flag.Float64("fault-rate", 0, "storage fault probability per filesystem operation, in [0,1) (chaos testing)")
 	flag.Parse()
 
 	if err := validateFlags(*jobs, *queue, *cache, *defaultRuns, *maxRuns, *logFormat); err != nil {
+		fmt.Fprintln(os.Stderr, "rmserved:", err)
+		os.Exit(2)
+	}
+	if err := validateResilienceFlags(*ckptEvery, *drainTimeout, *faultRate, *dataDir); err != nil {
 		fmt.Fprintln(os.Stderr, "rmserved:", err)
 		os.Exit(2)
 	}
@@ -77,23 +98,34 @@ func main() {
 		os.Exit(1)
 	}
 
-	svc := service.New(service.Config{
-		Workers:     *workers,
-		Jobs:        *jobs,
-		QueueDepth:  *queue,
-		CacheSize:   *cache,
-		DefaultRuns: *defaultRuns,
-		MaxRuns:     *maxRuns,
+	svc, err := service.New(service.Config{
+		Workers:         *workers,
+		Jobs:            *jobs,
+		QueueDepth:      *queue,
+		CacheSize:       *cache,
+		DefaultRuns:     *defaultRuns,
+		MaxRuns:         *maxRuns,
+		DataDir:         *dataDir,
+		CheckpointEvery: *ckptEvery,
+		FS:              faultFS(*faultSeed, *faultRate),
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmserved:", err)
+		os.Exit(1)
+	}
 	srv := &http.Server{
-		Handler:           service.AccessLog(handler(svc, *pprof), os.Stderr, *logFormat),
+		Handler:           service.AccessLog(handler(svc, *pprofF), os.Stderr, *logFormat),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	log.SetPrefix("rmserved: ")
 	log.SetFlags(log.LstdFlags)
-	log.Printf("listening on http://%s (workers=%d jobs=%d queue=%d cache=%d)",
-		listenHost(ln), svc.Engine().Workers(), *jobs, *queue, *cache)
+	durable := "off"
+	if *dataDir != "" {
+		durable = *dataDir
+	}
+	log.Printf("listening on http://%s (workers=%d jobs=%d queue=%d cache=%d data-dir=%s)",
+		listenHost(ln), svc.Engine().Workers(), *jobs, *queue, *cache, durable)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -108,14 +140,38 @@ func main() {
 		}
 	case <-ctx.Done():
 		log.Print("signal received, draining (in-flight campaigns are cancelled)")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("listener shutdown: %v", err)
-		}
-		svc.Close()
+		drainAndClose(srv, svc, *drainTimeout)
 		log.Print("drained")
 	}
+}
+
+// drainAndClose shuts the listener down gracefully, bounded by timeout:
+// if open connections (e.g. an NDJSON stream to a consumer that stopped
+// reading) outlast the deadline they are force-closed, so a single stuck
+// client can never hold SIGTERM hostage. The service drains after the
+// HTTP side is quiet either way.
+func drainAndClose(srv *http.Server, svc *service.Server, timeout time.Duration) {
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("graceful drain expired after %s, force-closing connections (%v)", timeout, err)
+		_ = srv.Close()
+	}
+	svc.Close()
+}
+
+// faultFS builds the chaos-testing filesystem: nil (the real one) unless
+// a fault rate is set, in which case the rate is split across I/O errors,
+// torn writes and delays, all drawn deterministically from the seed.
+func faultFS(seed uint64, rate float64) faultinject.FS {
+	if rate <= 0 {
+		return nil
+	}
+	return faultinject.Wrap(faultinject.OS{}, faultinject.NewPlan(seed, faultinject.Config{
+		PError: 0.4 * rate,
+		PTorn:  0.4 * rate,
+		PDelay: 0.2 * rate,
+	}))
 }
 
 // handler assembles the daemon's route table: the service API, plus the
@@ -154,6 +210,21 @@ func validateFlags(jobs, queue, cache, defaultRuns, maxRuns int, logFormat strin
 		return fmt.Errorf("-default-runs %d exceeds -max-runs %d", defaultRuns, maxRuns)
 	case !service.ValidLogFormat(logFormat):
 		return fmt.Errorf("-log must be text or json, got %q", logFormat)
+	}
+	return nil
+}
+
+// validateResilienceFlags checks the durability and drain knobs.
+func validateResilienceFlags(ckptEvery int, drainTimeout time.Duration, faultRate float64, dataDir string) error {
+	switch {
+	case ckptEvery < 1:
+		return fmt.Errorf("-checkpoint-every must be at least 1, got %d", ckptEvery)
+	case drainTimeout <= 0:
+		return fmt.Errorf("-drain-timeout must be positive, got %s", drainTimeout)
+	case faultRate < 0 || faultRate >= 1:
+		return fmt.Errorf("-fault-rate must be in [0, 1), got %g", faultRate)
+	case faultRate > 0 && dataDir == "":
+		return fmt.Errorf("-fault-rate needs -data-dir (faults apply to the durable store)")
 	}
 	return nil
 }

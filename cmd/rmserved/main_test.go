@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -49,6 +50,105 @@ func TestValidateFlags(t *testing.T) {
 	}
 }
 
+// TestValidateResilienceFlags pins the usage contract of the durability
+// and drain knobs.
+func TestValidateResilienceFlags(t *testing.T) {
+	if err := validateResilienceFlags(50, 15*time.Second, 0, ""); err != nil {
+		t.Fatalf("default resilience flags rejected: %v", err)
+	}
+	if err := validateResilienceFlags(1, time.Millisecond, 0.5, "/tmp/x"); err != nil {
+		t.Fatalf("minimal valid resilience flags rejected: %v", err)
+	}
+	bad := []struct {
+		name      string
+		ckptEvery int
+		drain     time.Duration
+		faultRate float64
+		dataDir   string
+		wantFlag  string
+	}{
+		{"zero cadence", 0, time.Second, 0, "", "-checkpoint-every"},
+		{"zero drain", 50, 0, 0, "", "-drain-timeout"},
+		{"negative rate", 50, time.Second, -0.1, "d", "-fault-rate"},
+		{"rate of one", 50, time.Second, 1, "d", "-fault-rate"},
+		{"faults without data dir", 50, time.Second, 0.1, "", "-data-dir"},
+	}
+	for _, tc := range bad {
+		err := validateResilienceFlags(tc.ckptEvery, tc.drain, tc.faultRate, tc.dataDir)
+		if err == nil {
+			t.Errorf("%s accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantFlag) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.wantFlag)
+		}
+	}
+}
+
+// TestDrainTimeout: a consumer that opens the NDJSON event stream and
+// then never reads must not hold shutdown hostage — drainAndClose
+// force-closes the connection once -drain-timeout expires.
+func TestDrainTimeout(t *testing.T) {
+	svc, err := service.New(service.Config{Workers: 1, Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	url := "http://" + ln.Addr().String()
+
+	resp, err := http.Post(url+"/v1/campaigns", "application/json",
+		strings.NewReader(`{"workload":"tblook01","placement":"RM","runs":100000,"seed":71}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// The stuck consumer: a raw connection that requests the stream and
+	// never reads a byte of the response.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "GET /v1/campaigns/%s/events HTTP/1.1\r\nHost: rmserved\r\n\r\n", sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond) // let the handler attach to the stream
+
+	start := time.Now()
+	done := make(chan struct{})
+	go func() { drainAndClose(srv, svc, 300*time.Millisecond); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain never completed with a stuck NDJSON consumer")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("drain took %s despite the 300ms timeout", elapsed)
+	}
+}
+
+// TestFaultFS: the chaos filesystem is only built when a rate is set.
+func TestFaultFS(t *testing.T) {
+	if fs := faultFS(1, 0); fs != nil {
+		t.Fatal("zero rate built a faulty FS")
+	}
+	if fs := faultFS(1, 0.5); fs == nil {
+		t.Fatal("no FS for a positive rate")
+	}
+}
+
 // TestListenHost checks that wildcard listens are reported with a
 // connectable host, so logs and smoke scripts can paste the URL.
 func TestListenHost(t *testing.T) {
@@ -74,7 +174,10 @@ func TestListenHost(t *testing.T) {
 // TestPprofGate: the profiling endpoints exist only behind -pprof, and
 // the service API keeps working through the combined mux.
 func TestPprofGate(t *testing.T) {
-	svc := service.New(service.Config{Workers: 1})
+	svc, err := service.New(service.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer svc.Close()
 
 	plain := httptest.NewServer(handler(svc, false))
@@ -120,7 +223,10 @@ func TestPprofGate(t *testing.T) {
 // smoke does: discovery via /v1/kinds, a security campaign through the
 // submit/status flow, and a malformed security block rejected with 400.
 func TestServedEndpoints(t *testing.T) {
-	svc := service.New(service.Config{Workers: 2})
+	svc, err := service.New(service.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer svc.Close()
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()

@@ -52,6 +52,29 @@ type Request struct {
 	// ratios are unaffected (they come from streaming accumulators either
 	// way).
 	KeepTimes TimesMode
+
+	// Resume restarts the campaign from a checkpoint previously captured
+	// via OnCheckpoint (and usually round-tripped through
+	// Encode/DecodeCheckpoint across a crash). The checkpoint must match
+	// the request's kind, master seed, run count and KeepTimes mode
+	// (*ResumeMismatchError otherwise); only runs past the checkpoint's
+	// frontier execute, and the completed Result is bit-identical to an
+	// uninterrupted campaign for any worker count on either side of the
+	// interruption. Resume is an execution knob like the pool size: it is
+	// not part of the wire codec and does not enter the Fingerprint.
+	Resume *Checkpoint
+	// CheckpointEvery captures a checkpoint each time the merged frontier
+	// advances at least this many runs past the previous capture (0
+	// disables capture). Captures happen at chunk-merge boundaries, so the
+	// effective cadence is the next frontier advance at or after the
+	// requested stride.
+	CheckpointEvery int
+	// OnCheckpoint receives captured checkpoints. Like the Events sink it
+	// is called on the worker path under internal locks: it must be fast
+	// and non-blocking (hand the pointer to a channel or goroutine; the
+	// Checkpoint is immutable once delivered) and must not call back into
+	// the Runner.
+	OnCheckpoint func(*Checkpoint)
 }
 
 // TimesMode selects the fate of the per-run measurement vector. It is an
@@ -226,6 +249,11 @@ type Runner struct {
 	// Events receives progress notifications; nil disables them. See
 	// Event for the sink contract (fast, non-blocking, no re-entry).
 	Events func(Event)
+	// CheckpointReplay runs every campaign through an interrupt + wire
+	// round trip + resume cycle instead of straight through (see
+	// WithCheckpointReplay). Results must be unchanged; it exists so the
+	// bench trajectory can pin that claim.
+	CheckpointReplay bool
 
 	mu   sync.Mutex // guards lazy Pool init
 	evmu sync.Mutex // serializes Events deliveries
@@ -256,10 +284,87 @@ func (r *Runner) Run(ctx context.Context, req Request) (Result, error) {
 	return r.run(ctx, 0, req)
 }
 
-// run executes req as batch member index. On cancellation the returned
-// error wraps ctx.Err() (so errors.Is(err, context.Canceled) holds) and
-// the Result carries the partial measurement vector.
+// run executes req as batch member index, detouring through the
+// checkpoint-replay harness when the Runner asks for it.
 func (r *Runner) run(ctx context.Context, index int, req Request) (Result, error) {
+	if r.CheckpointReplay && req.Resume == nil && req.OnCheckpoint == nil && req.Runs > 1 {
+		return r.runReplay(ctx, index, req)
+	}
+	return r.runOnce(ctx, index, req)
+}
+
+// runReplay is the self-checking execution mode behind
+// WithCheckpointReplay: run until the first checkpoint past the midpoint,
+// cancel, round-trip the checkpoint through the wire codec, and resume.
+// The completed Result must be — and the resumed-bench CI gate asserts it
+// is — bit-identical to a plain run.
+//
+// Event consumers see the two legs spliced into ONE campaign: the first
+// leg's cancellation Finished and the second leg's Started are dropped,
+// so the stream still carries exactly one CampaignStarted and one
+// CampaignFinished per submitted request. Runs the first leg completed
+// past the checkpoint frontier re-execute on the second leg and re-emit
+// RunCompleted with bit-identical cycles; across the splice the Done
+// counter may step back once (the strict monotonicity of a plain run is
+// relaxed to per-leg monotonicity).
+func (r *Runner) runReplay(ctx context.Context, index int, req Request) (Result, error) {
+	leg, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var captured atomic.Pointer[Checkpoint]
+	first := req
+	first.CheckpointEvery = (req.Runs + 1) / 2
+	first.OnCheckpoint = func(cp *Checkpoint) {
+		if captured.CompareAndSwap(nil, cp) {
+			cancel()
+		}
+	}
+	// Sub-runners share the pool but filter the splice-point events,
+	// forwarding the rest through r.emit so deliveries stay serialized
+	// with every other campaign on this Runner.
+	var fin *Event // leg 1's suppressed Finished; emitted from runOnce's own goroutine
+	leg1 := &Runner{Pool: r.pool()}
+	if r.Events != nil {
+		leg1.Events = func(ev Event) {
+			if ev.Kind == CampaignFinished {
+				fin = &ev
+				return
+			}
+			r.emit(ev)
+		}
+	}
+	res1, err1 := leg1.runOnce(leg, index, first)
+	cp := captured.Load()
+	if cp == nil {
+		// The campaign finished (or failed) before any checkpoint fired —
+		// nothing to resume; the first leg already is the plain run. Emit
+		// the Finished withheld by the filter to complete the stream.
+		if fin != nil {
+			r.emit(*fin)
+		}
+		return res1, err1
+	}
+	dec, err := DecodeCheckpoint(cp.Encode())
+	if err != nil {
+		return Result{Name: req.name()}, fmt.Errorf("core: checkpoint replay round trip: %w", err)
+	}
+	leg2 := &Runner{Pool: r.pool()}
+	if r.Events != nil {
+		leg2.Events = func(ev Event) {
+			if ev.Kind == CampaignStarted {
+				return
+			}
+			r.emit(ev)
+		}
+	}
+	second := req
+	second.Resume = dec
+	return leg2.runOnce(ctx, index, second)
+}
+
+// runOnce executes req once. On cancellation the returned error wraps
+// ctx.Err() (so errors.Is(err, context.Canceled) holds) and the Result
+// carries the partial measurement vector.
+func (r *Runner) runOnce(ctx context.Context, index int, req Request) (Result, error) {
 	res := Result{Name: req.name()}
 	kind := req.Kind()
 	var done atomic.Int64
@@ -361,6 +466,7 @@ func (r *Runner) run(ctx context.Context, index int, req Request) (Result, error
 	// All aggregates stream through the campaign accumulator; the buffered
 	// vector is only allocated when the caller wants it back.
 	acc := newCampaignAccum(req.Runs)
+	acc.meta = ckptMeta{kind: kind, seed: req.MasterSeed, keepTimes: req.KeepTimes}
 	if r.Events != nil {
 		acc.onProgress = func(s Snapshot) {
 			snap := s
@@ -368,9 +474,23 @@ func (r *Runner) run(ctx context.Context, index int, req Request) (Result, error
 				Snapshot: &snap, Done: s.Runs, Total: req.Runs})
 		}
 	}
+	if req.CheckpointEvery > 0 {
+		acc.ckptEvery = req.CheckpointEvery
+		acc.onCheckpoint = req.OnCheckpoint
+	}
 	var times []float64
 	if req.KeepTimes == TimesKeep {
 		times = make([]float64, req.Runs)
+	}
+	acc.times = times
+	start := 0
+	if req.Resume != nil {
+		if err := req.Resume.validate(req); err != nil {
+			return finish(err)
+		}
+		acc.restore(req.Resume)
+		start = req.Resume.Frontier
+		done.Store(int64(start))
 	}
 	onRun := func(run int, sr sim.Result) {
 		// The increment and the delivery share the mutex so the Done
@@ -388,7 +508,7 @@ func (r *Runner) run(ctx context.Context, index int, req Request) (Result, error
 		r.evmu.Unlock()
 	}
 
-	totals, err := runShards(ctx, r.pool(), req.Spec, req.Runs, times, acc, do, onRun)
+	totals, err := runShards(ctx, r.pool(), req.Spec, start, times, acc, do, onRun)
 	res.Times = times
 	res.Summary = acc.summary()
 	if err != nil {
@@ -449,6 +569,17 @@ func WithPool(p *Pool) EngineOption {
 // buffered channel is one line: WithEvents(func(ev Event) { ch <- ev }).
 func WithEvents(sink func(Event)) EngineOption {
 	return func(e *Engine) { e.runner.Events = sink }
+}
+
+// WithCheckpointReplay makes the Engine execute every campaign as an
+// interrupted-and-resumed pair: run to the first checkpoint past the
+// midpoint, cancel, round-trip the checkpoint through
+// Encode/DecodeCheckpoint, and resume to completion. Results are
+// bit-identical to plain runs by the resume contract — `paperbench
+// -resume-check` uses this to regenerate the bench trajectory through the
+// crash path so CI can compare it against the committed snapshots.
+func WithCheckpointReplay() EngineOption {
+	return func(e *Engine) { e.runner.CheckpointReplay = true }
 }
 
 // WithDefaultRuns sets the campaign scale applied to Requests that leave

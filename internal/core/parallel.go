@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -152,6 +154,32 @@ func chunkSize(runs, workers int) int {
 	return c
 }
 
+// PanicError is a worker panic converted into an ordinary campaign
+// failure: the panicking run's chunk fails, the campaign returns the
+// error cleanly, and the Pool (shared with every other campaign) keeps
+// all its slots. Value is the recovered panic value and Stack the
+// worker's stack at the point of the panic.
+type PanicError struct {
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: worker panic: %v", e.Value)
+}
+
+// protect converts a panic in fn into a *PanicError. Used around the
+// worker-supplied build/do callbacks so a panicking workload cannot take
+// down the process or leak a pool slot (the deferred release still runs).
+func protect(fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: string(debug.Stack())}
+		}
+	}()
+	return fn()
+}
+
 // ShardChunksPool is the chunked core of every sweep: runs [0, runs) are
 // claimed as contiguous chunks off a shared cursor by up to
 // normWorkers(pool.Workers(), runs) workers, each of which calls build
@@ -160,7 +188,9 @@ func chunkSize(runs, workers int) int {
 // but outputs must be run-indexed and all randomness derived from run
 // indices, so results stay bit-identical for any worker count and any
 // claiming order. The failure with the lowest chunk start is returned;
-// build and pool-acquire failures rank after every run failure.
+// build and pool-acquire failures rank after every run failure. A panic
+// in build or do surfaces as a *PanicError failure of its chunk rather
+// than crashing the process; the pool survives.
 func ShardChunksPool[T any](ctx context.Context, pool *Pool, runs int, build func() (T, error), do func(ctx T, lo, hi int) error) error {
 	if runs <= 0 {
 		return nil
@@ -186,8 +216,11 @@ func ShardChunksPool[T any](ctx context.Context, pool *Pool, runs int, build fun
 				return
 			}
 			defer pool.release()
-			ctxT, err := build()
-			if err != nil {
+			var ctxT T
+			if err := protect(func() (berr error) {
+				ctxT, berr = build()
+				return berr
+			}); err != nil {
 				fails[w] = failure{runs + w, err}
 				return
 			}
@@ -203,7 +236,7 @@ func ShardChunksPool[T any](ctx context.Context, pool *Pool, runs int, build fun
 					return
 				}
 				hi := min(lo+chunk, runs)
-				if err := do(ctxT, lo, hi); err != nil {
+				if err := protect(func() error { return do(ctxT, lo, hi) }); err != nil {
 					fails[w] = failure{lo, err}
 					return
 				}
@@ -220,22 +253,34 @@ func ShardChunksPool[T any](ctx context.Context, pool *Pool, runs int, build fun
 	return best.err
 }
 
+// shardChunksRange shards runs [start, end) of a campaign whose earlier
+// runs are already covered (checkpoint resume): chunk claiming restarts
+// at start, absolute run indices flow through to do, and the usual
+// determinism contract applies — the resumed tail is bit-identical to the
+// same runs of an uninterrupted sweep.
+func shardChunksRange[T any](ctx context.Context, pool *Pool, start, end int, build func() (T, error), do func(ctx T, lo, hi int) error) error {
+	if start >= end {
+		return nil
+	}
+	return ShardChunksPool(ctx, pool, end-start, build, func(ctxT T, lo, hi int) error {
+		return do(ctxT, start+lo, start+hi)
+	})
+}
+
 // runShards shards a single-core campaign over a Pool: each worker builds
 // its own platform from spec, do performs one run on it, per-run cycle
 // counts stream into a chunk-local accumulator (and into times[run] when
 // the caller keeps the buffered vector — times may be nil), and the
-// per-level counters are summed into the returned LevelStats (integer
-// sums are order-independent, so the aggregate is as schedule-proof as
-// the measurement vector). Counters and statistics accumulate
-// chunk-locally and merge once per chunk — the statistics through acc's
-// run-index-ordered frontier, the counters under the mutex — so the
-// per-run cost of the sweep is the run itself. onRun, if non-nil,
-// observes every completed run (called from worker goroutines).
-func runShards(ctx context.Context, pool *Pool, spec PlatformSpec, runs int, times []float64, acc *campaignAccum, do func(p *sim.Core, run int) (sim.Result, error), onRun func(run int, r sim.Result)) (LevelStats, error) {
-	var mu sync.Mutex
-	var agg LevelStats
-	err := ShardChunksPool(ctx, pool, runs, spec.Build, func(p *sim.Core, lo, hi int) error {
-		var local LevelStats
+// per-level counters ride the same chunk accumulators (integer sums are
+// order-independent, so the aggregate is as schedule-proof as the
+// measurement vector — and merging them through acc's run-index-ordered
+// frontier makes every checkpoint's counters consistent with its
+// frontier). start > 0 resumes a checkpointed campaign: only runs
+// [start, acc.total) execute; the restored prefix is already merged.
+// onRun, if non-nil, observes every completed run (called from worker
+// goroutines).
+func runShards(ctx context.Context, pool *Pool, spec PlatformSpec, start int, times []float64, acc *campaignAccum, do func(p *sim.Core, run int) (sim.Result, error), onRun func(run int, r sim.Result)) (LevelStats, error) {
+	err := shardChunksRange(ctx, pool, start, acc.total, spec.Build, func(p *sim.Core, lo, hi int) error {
 		ca := acc.newChunk(lo, hi)
 		for run := lo; run < hi; run++ {
 			if err := ctx.Err(); err != nil {
@@ -253,21 +298,16 @@ func runShards(ctx context.Context, pool *Pool, spec PlatformSpec, runs int, tim
 				acc.window[run] = x
 			}
 			ca.add(run, x)
-			local.add(r)
+			ca.levels.add(r)
 			if onRun != nil {
 				onRun(run, r)
 			}
 		}
 		acc.commit(ca)
-		mu.Lock()
-		agg.IL1 = addStats(agg.IL1, local.IL1)
-		agg.DL1 = addStats(agg.DL1, local.DL1)
-		agg.L2 = addStats(agg.L2, local.L2)
-		mu.Unlock()
 		return nil
 	})
 	if err != nil {
 		return LevelStats{}, err
 	}
-	return agg, nil
+	return acc.levelsTotal(), nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/prng"
@@ -75,7 +76,36 @@ func (r *Runner) runSecurity(ctx context.Context, index int, req Request, res *R
 
 	times := make([]float64, req.Runs)
 	outs := make([]security.RoundOut, req.Runs)
-	err = ShardChunksPool(ctx, r.pool(), req.Runs,
+	start := 0
+	if req.Resume != nil {
+		if err := req.Resume.validate(req); err != nil {
+			return finish(err)
+		}
+		start = req.Resume.Frontier
+		copy(outs, req.Resume.Rounds)
+		for i := 0; i < start; i++ {
+			times[i] = outs[i].Accesses
+		}
+		done.Store(int64(start))
+	}
+	// Checkpoints for security campaigns ride a round-index frontier over
+	// the per-round outputs: a checkpoint's Rounds prefix is everything the
+	// final Aggregate needs, so the accumulators stay exactly as they are.
+	front := &secFrontier{frontier: start, lastCkpt: start, pending: make(map[int]int)}
+	if req.CheckpointEvery > 0 && req.OnCheckpoint != nil {
+		front.every = req.CheckpointEvery
+		front.emit = func(frontier int) {
+			req.OnCheckpoint(&Checkpoint{
+				Kind:       KindSecurity,
+				MasterSeed: req.MasterSeed,
+				Runs:       req.Runs,
+				KeepTimes:  req.KeepTimes,
+				Frontier:   frontier,
+				Rounds:     append([]security.RoundOut(nil), outs[:frontier]...),
+			})
+		}
+	}
+	err = shardChunksRange(ctx, r.pool(), start, req.Runs,
 		func() (*security.Engine, error) { return security.NewEngine(spec, vic) },
 		func(e *security.Engine, lo, hi int) error {
 			for round := lo; round < hi; round++ {
@@ -86,6 +116,7 @@ func (r *Runner) runSecurity(ctx context.Context, index int, req Request, res *R
 				times[round] = outs[round].Accesses
 				onRound(round, outs[round].Accesses)
 			}
+			front.commit(lo, hi)
 			return nil
 		})
 	// Security campaigns buffer per-round outputs regardless (Aggregate
@@ -109,4 +140,37 @@ func (r *Runner) runSecurity(ctx context.Context, index int, req Request, res *R
 	agg := security.Aggregate(spec, outs)
 	res.Security = &agg
 	return finish(nil)
+}
+
+// secFrontier is the security campaigns' run-index frontier: completed
+// chunks commit in order (out-of-order arrivals park in pending), and
+// each advance of at least `every` rounds past the last capture emits one
+// checkpoint. The same mutex establishes the happens-before edge between
+// the workers' writes to outs[round] and the emit closure's read of the
+// covered prefix.
+type secFrontier struct {
+	mu       sync.Mutex
+	pending  map[int]int // chunk lo -> hi
+	frontier int
+	every    int
+	lastCkpt int
+	emit     func(frontier int)
+}
+
+func (s *secFrontier) commit(lo, hi int) {
+	s.mu.Lock()
+	s.pending[lo] = hi
+	for {
+		next, ok := s.pending[s.frontier]
+		if !ok {
+			break
+		}
+		delete(s.pending, s.frontier)
+		s.frontier = next
+	}
+	if s.emit != nil && s.frontier-s.lastCkpt >= s.every {
+		s.lastCkpt = s.frontier
+		s.emit(s.frontier)
+	}
+	s.mu.Unlock()
 }

@@ -73,6 +73,7 @@ type campaignAccum struct {
 	moments  stats.Moments
 	sketch   stats.QuantileSketch
 	maxima   *stats.BlockMax // central per-block maxima, blocks [0, total/block)
+	levels   LevelStats      // per-level counters, merged in frontier order
 	pending  map[int]*chunkAccum
 	frontier int // runs [0, frontier) are merged
 	badRun   int // lowest invalid-measurement run index (-1: none)
@@ -81,6 +82,26 @@ type campaignAccum struct {
 	// advance, under the accumulator lock (snapshots are delivered in
 	// increasing Runs order).
 	onProgress func(Snapshot)
+
+	// Checkpoint capture (see checkpoint.go). meta carries the request
+	// identity stamped into every checkpoint; times aliases the caller's
+	// buffered vector (run-indexed writes for merged runs happen-before the
+	// commit that advanced the frontier past them, so reading the prefix
+	// under mu is race-free). onCheckpoint observes a freshly built
+	// Checkpoint each time the frontier advances ckptEvery runs past the
+	// last capture, under the accumulator lock.
+	meta         ckptMeta
+	times        []float64
+	ckptEvery    int
+	lastCkpt     int
+	onCheckpoint func(*Checkpoint)
+}
+
+// ckptMeta is the request identity stamped into checkpoints.
+type ckptMeta struct {
+	kind      Kind
+	seed      uint64
+	keepTimes TimesMode
 }
 
 func newCampaignAccum(total int) *campaignAccum {
@@ -107,6 +128,7 @@ type chunkAccum struct {
 	moments stats.Moments
 	sketch  stats.QuantileSketch
 	maxima  *stats.BlockMax // blocks intersecting [lo, hi)
+	levels  LevelStats
 	badRun  int
 	badVal  float64
 }
@@ -145,6 +167,9 @@ func (a *campaignAccum) mergeChunk(c *chunkAccum) {
 	a.moments.Merge(&c.moments)
 	a.sketch.Merge(&c.sketch)
 	a.maxima.Merge(c.maxima)
+	a.levels.IL1 = addStats(a.levels.IL1, c.levels.IL1)
+	a.levels.DL1 = addStats(a.levels.DL1, c.levels.DL1)
+	a.levels.L2 = addStats(a.levels.L2, c.levels.L2)
 	if c.badRun >= 0 && (a.badRun < 0 || c.badRun < a.badRun) {
 		a.badRun, a.badVal = c.badRun, c.badVal
 	}
@@ -171,7 +196,60 @@ func (a *campaignAccum) commit(c *chunkAccum) {
 	if advanced && a.onProgress != nil {
 		a.onProgress(a.snapshotLocked())
 	}
+	if advanced && a.onCheckpoint != nil && a.frontier-a.lastCkpt >= a.ckptEvery {
+		a.lastCkpt = a.frontier
+		a.onCheckpoint(a.checkpointLocked())
+	}
 	a.mu.Unlock()
+}
+
+// checkpointLocked captures the merged frontier as a self-contained
+// Checkpoint (all slices copied: the accumulators keep mutating after the
+// capture). Called with mu held.
+func (a *campaignAccum) checkpointLocked() *Checkpoint {
+	cp := &Checkpoint{
+		Kind:       a.meta.kind,
+		MasterSeed: a.meta.seed,
+		Runs:       a.total,
+		KeepTimes:  a.meta.keepTimes,
+		Frontier:   a.frontier,
+		Moments:    a.moments,
+		Sketch:     a.sketch,
+		BadRun:     a.badRun,
+		BadVal:     a.badVal,
+		Levels:     a.levels,
+	}
+	cp.Window = append([]float64(nil), a.window[:min(a.frontier, len(a.window))]...)
+	cp.Maxima = stats.NewBlockMax(a.maxima.Block, 0, len(a.maxima.Max))
+	copy(cp.Maxima.Max, a.maxima.Max)
+	if a.times != nil {
+		cp.Times = append([]float64(nil), a.times[:a.frontier]...)
+	}
+	return cp
+}
+
+// restore rewinds the accumulator to a validated checkpoint's frontier.
+// Must run before the first chunk is claimed (no lock needed: the
+// accumulator is still private to the Runner).
+func (a *campaignAccum) restore(cp *Checkpoint) {
+	a.moments = cp.Moments
+	a.sketch = cp.Sketch
+	copy(a.maxima.Max, cp.Maxima.Max)
+	a.levels = cp.Levels
+	copy(a.window, cp.Window)
+	a.frontier = cp.Frontier
+	a.lastCkpt = cp.Frontier
+	a.badRun, a.badVal = cp.BadRun, cp.BadVal
+	if a.times != nil {
+		copy(a.times, cp.Times)
+	}
+}
+
+// levelsTotal returns the merged per-level counters.
+func (a *campaignAccum) levelsTotal() LevelStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.levels
 }
 
 // snapshotLocked builds the deterministic view of the merged prefix.

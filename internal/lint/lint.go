@@ -316,5 +316,12 @@ func DefaultDeterminismPackages() []string {
 		// is covered so every clock read it performs is an annotated,
 		// audited exception rather than an invisible ambient dependency.
 		"repro/internal/obs",
+		// faultinject and client do not feed results either, but their
+		// whole point is seed-reproducible behaviour (fault schedules,
+		// retry jitter) — ambient entropy or clock reads would make chaos
+		// runs and backoff tests unreplayable, so they obey the same
+		// discipline.
+		"repro/internal/faultinject",
+		"repro/internal/client",
 	}
 }

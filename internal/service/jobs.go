@@ -72,8 +72,13 @@ type Job struct {
 	err      error
 	runsDone int
 	snapshot *core.Snapshot // latest streaming snapshot (nil before the first)
-	subs     map[chan core.Event]struct{}
-	done     chan struct{} // closed exactly once on done/failed/canceled
+	// wireResult/wireSnapshot carry the outcome of a job served from the
+	// durable store: the result was persisted in wire form, so it is
+	// replayed in wire form instead of rebuilding a core.Result.
+	wireResult   *resultJSON
+	wireSnapshot *snapshotJSON
+	subs         map[chan core.Event]struct{}
+	done         chan struct{} // closed exactly once on done/failed/canceled
 }
 
 func newJob(id, fp string, wire core.WireRequest, req core.Request, now time.Time) *Job {
@@ -143,6 +148,30 @@ func (j *Job) finish(res core.Result, err error, canceled bool, now time.Time) {
 	}
 	close(j.done)
 	j.mu.Unlock()
+}
+
+// finishFromDisk completes the job from a persisted result without any
+// execution: the durable store's answer for this fingerprint. The job
+// goes straight from created to done — it was never enqueued.
+func (j *Job) finishFromDisk(pr *persistedResult, now time.Time) {
+	j.mu.Lock()
+	j.state = JobDone
+	j.finished = now
+	j.wireResult = pr.Result
+	j.wireSnapshot = pr.Snapshot
+	if pr.Result != nil {
+		j.runsDone = pr.Result.Runs
+	}
+	close(j.done)
+	j.mu.Unlock()
+}
+
+// diskState returns the persisted wire-form outcome for jobs finished
+// from the durable store (nil, nil otherwise).
+func (j *Job) diskState() (*resultJSON, *snapshotJSON) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.wireResult, j.wireSnapshot
 }
 
 // publish fans an Engine event out to the subscribers. Sends never block:

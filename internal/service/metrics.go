@@ -40,6 +40,32 @@ func (s *Server) registerMetrics() {
 	s.reg.GaugeFunc("rm_store_entries",
 		"Resident result-cache entries.",
 		func() float64 { return float64(s.store.Len()) })
+	s.reg.CounterFunc("rm_checkpoint_writes_total",
+		"Campaign checkpoints durably written.",
+		s.ckptWrites.Load)
+	s.reg.CounterFunc("rm_checkpoint_resumes_total",
+		"Campaigns resumed from a persisted checkpoint.",
+		s.ckptResumes.Load)
+	s.reg.CounterFunc("rm_checkpoint_corruptions_total",
+		"Persisted blobs rejected as corrupt and quarantined.",
+		s.ckptCorruptions.Load)
+	if s.disk != nil {
+		s.reg.CounterFunc("rm_store_disk_hits_total",
+			"Durable-store reads that returned a verified payload.",
+			s.disk.hits.Load)
+		s.reg.CounterFunc("rm_store_disk_misses_total",
+			"Durable-store reads that found nothing usable.",
+			s.disk.misses.Load)
+		s.reg.CounterFunc("rm_store_disk_writes_total",
+			"Durable-store blob writes that landed.",
+			s.disk.writes.Load)
+		s.reg.CounterFunc("rm_store_disk_write_errors_total",
+			"Durable-store writes that failed before the rename.",
+			s.disk.writeErrors.Load)
+		s.reg.CounterFunc("rm_store_disk_quarantines_total",
+			"Corrupt durable-store entries moved to quarantine.",
+			s.disk.quarantines.Load)
+	}
 }
 
 // routeStats instruments one mux route: a latency histogram plus

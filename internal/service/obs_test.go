@@ -190,7 +190,10 @@ func TestEventStreamSlowConsumer(t *testing.T) {
 // (server drain) terminates its event stream promptly with an "end" line
 // in state canceled, instead of leaving the subscriber hanging.
 func TestEventStreamCancelClosesPromptly(t *testing.T) {
-	s := New(Config{Workers: 1, Jobs: 1})
+	s, err := New(Config{Workers: 1, Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -312,7 +315,10 @@ func TestAccessLog(t *testing.T) {
 // swallow http.Flusher — an NDJSON stream through the full middleware
 // stack still delivers its lines incrementally.
 func TestAccessLogStreamFlush(t *testing.T) {
-	s := New(Config{Workers: 2, Jobs: 1})
+	s, err := New(Config{Workers: 2, Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	ts := httptest.NewServer(AccessLog(s.Handler(), &buf, LogText))
 	defer func() { ts.Close(); s.Close() }()

@@ -6,12 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/security"
@@ -37,6 +39,19 @@ type Config struct {
 	DefaultRuns int
 	// MaxRuns rejects larger submissions (default 100000).
 	MaxRuns int
+	// DataDir enables the durable tier: completed results and in-flight
+	// checkpoints persist under this directory (see DiskStore for the
+	// layout), repeat submissions are served from disk across restarts,
+	// and campaigns interrupted by a crash resume from their latest
+	// checkpoint on startup. Empty keeps the service memory-only.
+	DataDir string
+	// CheckpointEvery is the checkpoint cadence in runs for persisted
+	// campaigns (default 50). Only meaningful with DataDir.
+	CheckpointEvery int
+	// FS overrides the filesystem the durable tier runs on (default the
+	// real filesystem with durable writes, faultinject.OS). The chaos
+	// suite injects storage faults here.
+	FS faultinject.FS
 }
 
 func (c Config) withDefaults() Config {
@@ -55,6 +70,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxRuns <= 0 {
 		c.MaxRuns = 100000
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 50
+	}
 	return c
 }
 
@@ -67,6 +85,13 @@ type Server struct {
 	cfg   Config
 	eng   *core.Engine
 	store *Store
+	// disk is the durable tier (nil when Config.DataDir is empty).
+	disk *DiskStore
+
+	// Durability counters (see registerMetrics for their wire names).
+	ckptWrites      atomic.Uint64
+	ckptResumes     atomic.Uint64
+	ckptCorruptions atomic.Uint64
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -102,8 +127,11 @@ type Server struct {
 }
 
 // New builds the service and starts its job workers. The caller owns the
-// HTTP listener; Close drains the service.
-func New(cfg Config) *Server {
+// HTTP listener; Close drains the service. With Config.DataDir set it
+// also opens the durable store (the only error source) and resubmits
+// every campaign that left a checkpoint behind, so a crashed server
+// resumes its interrupted work on restart.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -111,6 +139,13 @@ func New(cfg Config) *Server {
 		queue:   make(chan *Job, cfg.QueueDepth),
 		slots:   make(chan struct{}, cfg.QueueDepth),
 		started: time.Now(),
+	}
+	if cfg.DataDir != "" {
+		disk, err := OpenDiskStore(cfg.FS, cfg.DataDir)
+		if err != nil {
+			return nil, fmt.Errorf("service: opening data dir: %w", err)
+		}
+		s.disk = disk
 	}
 	//rm:ctxroot server lifecycle root: jobs outlive the submitting request; Close cancels it on drain
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
@@ -146,7 +181,32 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	if s.disk != nil {
+		s.recoverFromDisk()
+	}
+	return s, nil
+}
+
+// recoverFromDisk resubmits every campaign that left a checkpoint behind
+// (i.e. was interrupted mid-run by a crash). Each goes through the normal
+// Submit path, which re-reads the checkpoint and attaches it as the
+// resume point; a checkpoint whose stored request no longer parses is
+// quarantined. Recovery is best effort: a full queue just leaves the
+// checkpoint in place for the next restart.
+func (s *Server) recoverFromDisk() {
+	for _, fp := range s.disk.Checkpoints() {
+		payload, ok := s.disk.GetCheckpoint(fp)
+		if !ok {
+			continue // corrupt: get already quarantined it
+		}
+		var pc persistedCheckpoint
+		if err := json.Unmarshal(payload, &pc); err != nil {
+			s.ckptCorruptions.Add(1)
+			s.disk.QuarantineCheckpoint(fp)
+			continue
+		}
+		_, _, _ = s.Submit(pc.Wire)
+	}
 }
 
 // Engine exposes the shared engine (tests; embedding the service).
@@ -154,6 +214,9 @@ func (s *Server) Engine() *core.Engine { return s.eng }
 
 // Store exposes the result cache (health reporting, tests).
 func (s *Server) Store() *Store { return s.store }
+
+// Disk exposes the durable tier (nil when DataDir is unset).
+func (s *Server) Disk() *DiskStore { return s.disk }
 
 // Registry exposes the server's metric registry, so embedders (rmserved)
 // can add their own instruments next to the service ones.
@@ -204,12 +267,106 @@ func (s *Server) worker() {
 			s.queueWait.Observe(start.Sub(j.Submitted).Nanoseconds())
 			s.jobsRunning.Add(1)
 			j.start(start)
-			res, err := s.eng.Run(s.baseCtx, j.req)
+			res, err := s.runJob(j)
 			s.jobsRunning.Add(-1)
 			canceled := err != nil &&
 				(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 			j.finish(res, err, canceled, time.Now())
+			if s.disk != nil {
+				s.persistOutcome(j, err, canceled)
+			}
 		}
+	}
+}
+
+// runJob executes one campaign on the shared engine. With the durable
+// tier enabled it also streams checkpoints to disk while the campaign
+// runs: the engine hands each captured frontier to a buffered latest-wins
+// channel, and a dedicated writer goroutine persists them off the
+// simulation's critical path (a slow disk delays durability, never the
+// campaign).
+func (s *Server) runJob(j *Job) (core.Result, error) {
+	req := j.req
+	if s.disk == nil {
+		return s.eng.Run(s.baseCtx, req)
+	}
+	ckpts := make(chan *core.Checkpoint, 1)
+	req.CheckpointEvery = s.cfg.CheckpointEvery
+	req.OnCheckpoint = func(cp *core.Checkpoint) {
+		for {
+			select {
+			case ckpts <- cp:
+				return
+			default:
+				// Writer is behind: drop the stale pending frontier.
+				select {
+				case <-ckpts:
+				default:
+				}
+			}
+		}
+	}
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for cp := range ckpts {
+			s.writeCheckpoint(j, cp)
+		}
+	}()
+	res, err := s.eng.Run(s.baseCtx, req)
+	// Run has returned, so no more OnCheckpoint calls can happen: the
+	// engine invokes it synchronously from inside Run.
+	close(ckpts)
+	<-writerDone
+	return res, err
+}
+
+// writeCheckpoint persists one captured frontier. Panics (the fault
+// injector's worker-panic mode, or anything unexpected in the codec) are
+// contained here and counted as a failed write — a checkpoint is an
+// optimization, so losing one must never take the campaign down.
+func (s *Server) writeCheckpoint(j *Job, cp *core.Checkpoint) {
+	defer func() {
+		if recover() != nil {
+			s.disk.writeErrors.Add(1)
+		}
+	}()
+	payload, err := json.Marshal(persistedCheckpoint{Wire: j.Wire, Checkpoint: cp.Encode()})
+	if err != nil {
+		return
+	}
+	if s.disk.PutCheckpoint(j.Fingerprint, payload) == nil {
+		s.ckptWrites.Add(1)
+	}
+}
+
+// persistOutcome records a finished campaign in the durable tier: a
+// success persists the result and retires the checkpoint; a hard failure
+// retires the checkpoint (the failure is deterministic, resuming would
+// only fail again); a cancellation keeps the checkpoint so the campaign
+// resumes after restart. Runs in the job worker after finish, so the
+// submitter never waits on the disk.
+func (s *Server) persistOutcome(j *Job, err error, canceled bool) {
+	defer func() {
+		if recover() != nil {
+			s.disk.writeErrors.Add(1)
+		}
+	}()
+	switch {
+	case err == nil:
+		_, _, res, _, _, _ := j.Snapshot()
+		payload, merr := json.Marshal(persistedResult{
+			Wire:     j.Wire,
+			Result:   resultOf(res),
+			Snapshot: snapshotOf(j.Progress()),
+		})
+		if merr == nil && s.disk.PutResult(j.Fingerprint, payload) == nil {
+			s.disk.DeleteCheckpoint(j.Fingerprint)
+		}
+	case canceled:
+		// Keep the checkpoint: this campaign resumes on restart.
+	default:
+		s.disk.DeleteCheckpoint(j.Fingerprint)
 	}
 }
 
@@ -249,7 +406,7 @@ func (s *Server) Submit(wire core.WireRequest) (*Job, bool, error) {
 	select {
 	case s.slots <- struct{}{}:
 	default:
-		return nil, false, errUnavailable{"job queue full, retry later"}
+		return nil, false, errBusy{"job queue full, retry later"}
 	}
 	v, created := s.store.GetOrCreate(fp, func() any {
 		id := fmt.Sprintf("c-%06d", s.seq.Add(1))
@@ -264,10 +421,57 @@ func (s *Server) Submit(wire core.WireRequest) (*Job, bool, error) {
 		<-s.slots // coalesced: nothing was enqueued, free the slot
 		return job, true, nil
 	}
+	if s.disk != nil && s.attachDiskState(job) {
+		<-s.slots // served from disk: nothing to enqueue
+		return job, true, nil
+	}
 	// Cannot block: every resident queue entry holds a slot token, and
 	// this admission holds one too, so there is room by construction.
 	s.queue <- job
 	return job, false, nil
+}
+
+// attachDiskState consults the durable tier for a freshly created job.
+// A persisted result finishes the job immediately (true: nothing to
+// execute); a persisted checkpoint that still validates against the
+// request is attached as the resume point. Anything corrupt is
+// quarantined and the campaign recomputes from scratch — disk damage
+// degrades to work, never to a wrong or missing answer.
+func (s *Server) attachDiskState(j *Job) bool {
+	if payload, ok := s.disk.GetResult(j.Fingerprint); ok {
+		var pr persistedResult
+		if err := json.Unmarshal(payload, &pr); err == nil && pr.Result != nil {
+			j.finishFromDisk(&pr, time.Now())
+			return true
+		}
+		s.ckptCorruptions.Add(1)
+		s.disk.quarantine(diskResultsDir, j.Fingerprint+diskResultExt)
+	}
+	if payload, ok := s.disk.GetCheckpoint(j.Fingerprint); ok {
+		quarantine := func() {
+			s.ckptCorruptions.Add(1)
+			s.disk.QuarantineCheckpoint(j.Fingerprint)
+		}
+		var pc persistedCheckpoint
+		if err := json.Unmarshal(payload, &pc); err != nil {
+			quarantine()
+			return false
+		}
+		cp, err := core.DecodeCheckpoint(pc.Checkpoint)
+		if err != nil {
+			quarantine()
+			return false
+		}
+		if err := cp.Validate(j.req); err != nil {
+			// Valid blob, wrong campaign: a fingerprint collision is
+			// content-addressing breakage, so treat it as corruption.
+			quarantine()
+			return false
+		}
+		j.req.Resume = cp
+		s.ckptResumes.Add(1)
+	}
+	return false
 }
 
 // JobByID returns a job by its handle.
@@ -278,7 +482,11 @@ func (s *Server) JobByID(id string) (*Job, bool) {
 	return j, ok
 }
 
-// errBadRequest and errUnavailable map service errors to HTTP statuses.
+// errBadRequest, errUnavailable and errBusy map service errors to HTTP
+// statuses: 400, 503, and 429 with a Retry-After hint respectively. A
+// full queue is errBusy — transient pressure the client should back off
+// and retry — while a draining server is errUnavailable, since retrying
+// against the same instance is pointless.
 type errBadRequest struct{ msg string }
 
 func (e errBadRequest) Error() string { return e.msg }
@@ -286,6 +494,13 @@ func (e errBadRequest) Error() string { return e.msg }
 type errUnavailable struct{ msg string }
 
 func (e errUnavailable) Error() string { return e.msg }
+
+type errBusy struct{ msg string }
+
+func (e errBusy) Error() string { return e.msg }
+
+// retryAfterSeconds is the backoff hint on 429 responses.
+const retryAfterSeconds = 1
 
 // Handler returns the /v1 campaign API plus /healthz and the
 // observability endpoints: GET /metrics (Prometheus text format) and
@@ -325,6 +540,9 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusBadRequest
 	case errUnavailable:
 		status = http.StatusServiceUnavailable
+	case errBusy:
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
@@ -482,7 +700,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if !s.accepting.Load() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, healthJSON{
+	out := healthJSON{
 		Status:        status,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Workers:       s.eng.Workers(),
@@ -490,7 +708,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Queue:         queueJSON{Depth: len(s.queue), Capacity: s.cfg.QueueDepth},
 		Jobs:          jobCounts{Queued: queued, Running: running, Done: done, Failed: failed, Canceled: canceled},
 		Cache:         s.store.Stats(),
-	})
+	}
+	if s.disk != nil {
+		ds := s.disk.Stats()
+		out.Disk = &ds
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleTraces serves the most recent campaign trace spans, newest first.

@@ -21,7 +21,10 @@ func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Workers == 0 {
 		cfg.Workers = 2
 	}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() { ts.Close(); s.Close() })
 	return s, ts
@@ -45,7 +48,10 @@ func postCampaign(t *testing.T, ts *httptest.Server, body string) (submitRespons
 
 func waitDone(t *testing.T, ts *httptest.Server, id string) statusResponse {
 	t.Helper()
-	deadline := time.Now().Add(60 * time.Second)
+	// Generous to survive the race detector's ~10x simulation slowdown
+	// on the long synth160k campaigns; the poll returns as soon as the
+	// campaign reaches a terminal state, so fast runs are unaffected.
+	deadline := time.Now().Add(10 * time.Minute)
 	for time.Now().Before(deadline) {
 		resp, err := http.Get(ts.URL + "/v1/campaigns/" + id)
 		if err != nil {
@@ -284,8 +290,8 @@ func TestDefaultRunsEnterFingerprint(t *testing.T) {
 }
 
 // TestQueueFullRejects: with 1 job slot and a 1-deep queue, a third
-// distinct concurrent submission is rejected with 503 and is not left
-// behind as a phantom cache entry.
+// distinct concurrent submission is rejected with 429 (transient
+// pressure, retry) and is not left behind as a phantom cache entry.
 func TestQueueFullRejects(t *testing.T) {
 	s, ts := testServer(t, Config{Jobs: 1, QueueDepth: 1, Workers: 1})
 	// Occupy the single worker and the single queue slot with slow-ish
@@ -295,7 +301,7 @@ func TestQueueFullRejects(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		body := fmt.Sprintf(`{"workload":"tblook01","placement":"RM","runs":200,"seed":%d}`, 100+i)
 		_, code := postCampaign(t, ts, body)
-		if code == http.StatusServiceUnavailable {
+		if code == http.StatusTooManyRequests {
 			sawReject = true
 			rejectedBody = body
 			break
@@ -322,7 +328,10 @@ func TestQueueFullRejects(t *testing.T) {
 // leaves every admitted job in a terminal state.
 func TestGracefulDrain(t *testing.T) {
 	cfg := Config{Workers: 1, Jobs: 1, QueueDepth: 8}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

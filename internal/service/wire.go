@@ -161,6 +161,17 @@ func statusOf(j *Job) statusResponse {
 		Snapshot:    snapshotOf(j.Progress()),
 		Result:      resultOf(result),
 	}
+	if out.Result == nil || out.Snapshot == nil {
+		// Jobs served from the durable store carry their result and final
+		// snapshot in wire form (the core.Result was never rebuilt).
+		wr, ws := j.diskState()
+		if out.Result == nil {
+			out.Result = wr
+		}
+		if out.Snapshot == nil {
+			out.Snapshot = ws
+		}
+	}
 	if !started.IsZero() {
 		out.Started = &started
 	}
@@ -238,6 +249,8 @@ type healthJSON struct {
 	Queue         queueJSON  `json:"queue"`
 	Jobs          jobCounts  `json:"jobs"`
 	Cache         StoreStats `json:"cache"`
+	// Disk reports the durable tier (absent when -data-dir is unset).
+	Disk *DiskStats `json:"disk,omitempty"`
 }
 
 // queueJSON reports the job queue's occupancy against its bound.
@@ -260,4 +273,24 @@ type jobCounts struct {
 	Done     int `json:"done"`
 	Failed   int `json:"failed"`
 	Canceled int `json:"canceled"`
+}
+
+// persistedResult is the durable form of a completed campaign, stored
+// under results/<fingerprint>.rmr: the admitted wire request plus the
+// same wire-form result and final snapshot the status endpoint serves,
+// so a disk hit answers exactly like the original execution did.
+type persistedResult struct {
+	Wire     core.WireRequest `json:"wire"`
+	Result   *resultJSON      `json:"result"`
+	Snapshot *snapshotJSON    `json:"snapshot,omitempty"`
+}
+
+// persistedCheckpoint is the durable form of an in-flight campaign's
+// latest streaming frontier, stored under checkpoints/<fingerprint>.rmc:
+// the wire request (so a restarting server can resubmit it) plus the
+// core checkpoint blob (magic + payload + SHA-256; see core.Checkpoint),
+// base64-encoded by encoding/json.
+type persistedCheckpoint struct {
+	Wire       core.WireRequest `json:"wire"`
+	Checkpoint []byte           `json:"checkpoint"`
 }

@@ -102,6 +102,15 @@ func (m *Moments) Variance() float64 {
 // StdDev returns the sample standard deviation.
 func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
 
+// Welford returns the internal running mean and squared-deviation sum, so
+// checkpoint codecs outside the package can serialize the complete
+// accumulator state (N/Sum/Min/Max alone cannot rebuild the variance).
+func (m *Moments) Welford() (mean, m2 float64) { return m.mean, m.m2 }
+
+// SetWelford restores the internal Welford terms captured by Welford —
+// the other half of a checkpoint round trip.
+func (m *Moments) SetWelford(mean, m2 float64) { m.mean, m.m2 = mean, m2 }
+
 // Quantile sketch geometry: values >= 1 land in one of 64 binary octaves
 // [2^o, 2^(o+1)), each split into sketchSub equal-width sub-buckets;
 // values below 1 share the underflow bucket 0. Bucket boundaries are

@@ -245,6 +245,40 @@ func WithEvents(sink func(Event)) EngineOption { return core.WithEvents(sink) }
 // at zero — the Engine-level campaign scale.
 func WithDefaultRuns(n int) EngineOption { return core.WithDefaultRuns(n) }
 
+// WithCheckpointReplay makes the Engine execute every campaign as an
+// interrupted-and-resumed pair (checkpoint past the midpoint, wire
+// round-trip, resume). Results are bit-identical to plain runs by the
+// resume contract; it exists so determinism gates can exercise the crash
+// path continuously.
+func WithCheckpointReplay() EngineOption { return core.WithCheckpointReplay() }
+
+// Checkpoint is a campaign's streaming frontier frozen mid-flight: the
+// covered-run index, merged accumulators, and the seed-derivation inputs
+// needed to continue. Produced via Request.CheckpointEvery +
+// Request.OnCheckpoint, serialized with Encode (versioned, checksummed),
+// and consumed by Request.Resume — the resumed campaign's results are
+// bit-identical to an uninterrupted run.
+type Checkpoint = core.Checkpoint
+
+// DecodeCheckpoint parses and verifies an Encode()d checkpoint blob. A
+// blob that fails the magic, structural, or checksum checks returns a
+// *CorruptCheckpointError.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) { return core.DecodeCheckpoint(b) }
+
+// CorruptCheckpointError reports a checkpoint blob that failed
+// verification; resuming from it is refused rather than risking silent
+// divergence.
+type CorruptCheckpointError = core.CorruptCheckpointError
+
+// ResumeMismatchError reports a Resume checkpoint that belongs to a
+// different campaign than the Request it was attached to (kind, seed,
+// runs, or options differ).
+type ResumeMismatchError = core.ResumeMismatchError
+
+// PanicError is a worker panic recovered into a typed campaign failure:
+// the campaign fails cleanly, the shared pool survives.
+type PanicError = core.PanicError
+
 // Campaign is a measurement campaign: one program, many runs, a fresh
 // hardware seed per run. Set Workers to shard the runs across a pool of
 // simulation workers (0 = GOMAXPROCS); Times is bit-identical for any

@@ -1,0 +1,152 @@
+#!/bin/sh
+# Chaos smoke: the kill-resume scenario of the resilience layer.
+#
+#  1. Run a reference campaign on a clean, memory-only rmserved and
+#     record its result.
+#  2. Start rmserved with the durable tier (-data-dir) and deterministic
+#     storage fault injection active, submit the same campaign, wait for
+#     the first checkpoint to hit disk, and SIGKILL the daemon
+#     mid-campaign (no drain, no cleanup -- a crash).
+#  3. Restart the daemon on the same data dir: the startup scan resumes
+#     the interrupted campaign from its latest checkpoint (or recomputes
+#     it if injected faults corrupted the checkpoint -- corruption may
+#     cost work, never correctness).
+#  4. Assert the post-crash result is bit-identical to the reference.
+set -eu
+
+bin=$(mktemp)
+log=$(mktemp)
+data=$(mktemp -d)
+srv=""
+go build -o "$bin" ./cmd/rmserved
+trap 'kill -9 "$srv" 2>/dev/null || true; rm -rf "$log" "$bin" "$data"' EXIT
+
+command -v jq >/dev/null 2>&1 || { echo "smoke-chaos: jq required" >&2; exit 1; }
+
+# The campaign: long enough (~10s) that the kill lands mid-flight, with
+# full pWCET analysis so the comparison covers the statistics pipeline.
+req='{"workload":"synth160k","placement":"RM","runs":160,"seed":53,"analyze":true}'
+
+start() {
+  : >"$log"
+  "$bin" "$@" >"$log" 2>&1 &
+  srv=$!
+}
+
+# wait_up polls the access log for the listen line and /healthz; fails
+# fast when the process already died (e.g. an injected startup fault).
+wait_up() {
+  base=""
+  i=0
+  while [ $i -lt 50 ]; do
+    if ! kill -0 "$srv" 2>/dev/null; then
+      return 1
+    fi
+    base=$(sed -n 's/.*listening on \(http:\/\/[0-9.:]*\).*/\1/p' "$log" | head -n 1)
+    if [ -n "$base" ] && curl -fsS "$base/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    base=""
+    sleep 0.2
+    i=$((i + 1))
+  done
+  return 1
+}
+
+submit() {
+  curl -fsS -X POST -d "$req" "$base/v1/campaigns" | jq -r .id
+}
+
+# wait_done polls one campaign to its terminal state and prints the
+# result object, canonically sorted, for bit-identical comparison.
+wait_done() {
+  id=$1
+  i=0
+  while [ $i -lt 600 ]; do
+    status=$(curl -fsS "$base/v1/campaigns/$id")
+    state=$(printf '%s' "$status" | jq -r .state)
+    if [ "$state" = "done" ]; then
+      printf '%s' "$status" | jq -S .result
+      return 0
+    fi
+    if [ "$state" = "failed" ] || [ "$state" = "canceled" ]; then
+      echo "campaign $id ended in state $state: $status" >&2
+      return 1
+    fi
+    sleep 0.2
+    i=$((i + 1))
+  done
+  echo "campaign $id did not finish" >&2
+  return 1
+}
+
+metric() {
+  curl -fsS "$base/metrics" | awk -v m="$1" '$1 == m { print $2 }'
+}
+
+# --- 1. Reference: clean, memory-only run. ---------------------------------
+start -addr 127.0.0.1:0 -workers 2
+wait_up || { echo "reference rmserved did not come up:" >&2; cat "$log" >&2; exit 1; }
+ref=$(wait_done "$(submit)")
+kill "$srv" && wait "$srv" 2>/dev/null || true
+echo "reference result recorded ($(printf '%s' "$ref" | wc -c) bytes)"
+
+# --- 2. Chaos run: durable tier + fault injection, SIGKILL mid-campaign. ---
+# The fault plan is a pure function of -fault-seed; a seed whose injected
+# faults kill the startup scan itself is skipped (deterministically) for
+# the next one.
+seed=0
+for s in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16; do
+  start -addr 127.0.0.1:0 -workers 2 -data-dir "$data" -checkpoint-every 5 \
+    -fault-seed "$s" -fault-rate 0.05
+  if wait_up; then
+    seed=$s
+    break
+  fi
+  kill -9 "$srv" 2>/dev/null || true
+done
+[ "$seed" -gt 0 ] || { echo "no fault seed allowed rmserved to start:" >&2; cat "$log" >&2; exit 1; }
+echo "chaos rmserved up at $base (fault seed $seed, data dir $data)"
+
+id=$(submit)
+i=0
+while [ $i -lt 150 ]; do
+  writes=$(metric rm_checkpoint_writes_total)
+  if [ -n "$writes" ] && [ "$writes" -ge 1 ]; then
+    break
+  fi
+  sleep 0.1
+  i=$((i + 1))
+done
+kill -9 "$srv"
+wait "$srv" 2>/dev/null || true
+echo "SIGKILLed rmserved mid-campaign (checkpoint writes so far: ${writes:-0})"
+
+# --- 3. Restart on the same data dir; the campaign must complete. ----------
+start -addr 127.0.0.1:0 -workers 2 -data-dir "$data" -checkpoint-every 5 \
+  -fault-seed "$seed" -fault-rate 0.05
+wait_up || { echo "restarted rmserved did not come up:" >&2; cat "$log" >&2; exit 1; }
+id2=$(submit) # coalesces with the startup-scan resubmission by fingerprint
+res=$(wait_done "$id2")
+
+resumes=$(metric rm_checkpoint_resumes_total)
+corruptions=$(metric rm_checkpoint_corruptions_total)
+hits=$(metric rm_store_disk_hits_total)
+echo "after restart: resumes=${resumes:-0} corruptions=${corruptions:-0} disk hits=${hits:-0}"
+if [ "${resumes:-0}" -eq 0 ] && [ "${corruptions:-0}" -eq 0 ] && [ "${hits:-0}" -eq 0 ]; then
+  echo "durable tier never engaged after the crash" >&2
+  exit 1
+fi
+
+# --- 4. Bit-identical result. ----------------------------------------------
+if [ "$res" != "$ref" ]; then
+  echo "post-crash result differs from the clean run:" >&2
+  printf '%s\n' "$ref" >"$log.ref"
+  printf '%s\n' "$res" >"$log.res"
+  diff -u "$log.ref" "$log.res" >&2 || true
+  exit 1
+fi
+echo "post-crash result bit-identical to the clean run"
+
+kill "$srv" && wait "$srv" 2>/dev/null || true
+echo "chaos smoke OK"
